@@ -1,0 +1,70 @@
+"""Fig. 1 — execution timeline: data preparation vs genome analysis.
+
+Three configurations over the RS2 model: (i) Baseline (software mapper +
+Spring-class preparation), (ii) Accelerated analysis (GEM) with the same
+preparation, (iii) Accelerated analysis with ideal preparation.  The
+figure's point: acceleration potential is lost to data preparation.
+"""
+
+from repro.pipeline import SystemConfig, evaluate, paper_dataset_models
+from repro.pipeline.accelerators import software_mapper
+from repro.pipeline.stages import Stage, simulate_pipeline
+
+from benchmarks.conftest import write_result
+
+PAPER = {
+    "baseline_analysis_kreads": 446,
+    "accelerated_analysis_kreads": 69_200,
+    "baseline_prep_kreads": 2_563,
+}
+
+
+def test_fig01_timeline(benchmark):
+    model = paper_dataset_models()["RS2"]
+
+    baseline_sys = SystemConfig(analysis=software_mapper())
+    acc_sys = SystemConfig()
+
+    rows = []
+    configs = [
+        ("Baseline", "(N)Spr", baseline_sys),
+        ("Acc. Analysis", "(N)Spr", acc_sys),
+        ("Acc. Analysis w/ Ideal Prep.", "0TimeDec", acc_sys),
+    ]
+    results = {}
+    for name, prep, system in configs:
+        result = evaluate(prep, model, system)
+        results[name] = result
+        busy = {t.name: t.busy_s for t in result.pipeline.timelines}
+        rows.append(
+            f"{name:<30} makespan {result.makespan_s:9.1f} s  "
+            f"bottleneck={result.bottleneck:<9} "
+            + " ".join(f"{k}={v:8.1f}s" for k, v in busy.items()))
+
+    base = results["Baseline"].makespan_s
+    acc = results["Acc. Analysis"].makespan_s
+    ideal = results["Acc. Analysis w/ Ideal Prep."].makespan_s
+    lost = acc / ideal
+
+    lines = ["Fig. 1 — data preparation bottleneck timeline (RS2 model)",
+             ""]
+    lines += rows
+    lines += [
+        "",
+        f"speedup of accelerated analysis over baseline : {base/acc:7.1f}x",
+        f"further speedup lost to data preparation      : {lost:7.1f}x",
+        f"paper's rates: analysis {PAPER['accelerated_analysis_kreads']}"
+        f" KReads/s vs prep {PAPER['baseline_prep_kreads']} KReads/s"
+        f" (= {PAPER['accelerated_analysis_kreads']/PAPER['baseline_prep_kreads']:.1f}x gap)",
+    ]
+    write_result("fig01_timeline", "\n".join(lines))
+
+    # The headline shape: accelerated analysis is prep-bound, and ideal
+    # preparation recovers a large factor.
+    assert results["Acc. Analysis"].bottleneck == "prep"
+    assert lost > 3.0
+    assert base > acc
+
+    stages = [Stage("io", 300e9), Stage("prep", 1.2e9),
+              Stage("analysis", 6.92e9)]
+    benchmark(simulate_pipeline, stages, model.total_bases, 64)

@@ -1,0 +1,48 @@
+"""Fig. 4 — motivational end-to-end throughput, normalized to (N)Spr.
+
+pigz / (N)Spr / Ideal (zero-time decompression) with GEM analysis over
+the five dataset models with *measured* compression ratios.  Paper: the
+ideal decompressor is 12.3x over pigz and 4.0x over (N)Spr on average.
+"""
+
+from repro.pipeline import SystemConfig, evaluate
+
+from benchmarks.conftest import RS_LABELS, gmean, write_result
+
+PAPER_GMEAN = {"pigz": 12.3, "(N)Spr": 4.0}
+
+
+def test_fig04_motivation(benchmark, measured_models):
+    system = SystemConfig()
+    table = {}
+    for prep in ("pigz", "(N)Spr", "0TimeDec"):
+        table[prep] = {
+            label: evaluate(prep, measured_models[label], system)
+            .throughput_bases_per_s for label in RS_LABELS}
+
+    lines = ["Fig. 4 — end-to-end throughput normalized to (N)Spr", "",
+             "config      " + "".join(f"{l:>9}" for l in RS_LABELS)
+             + "    GMean"]
+    norm = {}
+    for prep, rates in table.items():
+        values = [rates[l] / table["(N)Spr"][l] for l in RS_LABELS]
+        norm[prep] = gmean(values)
+        lines.append(f"{prep:<12}"
+                     + "".join(f"{v:9.2f}" for v in values)
+                     + f"{norm[prep]:9.2f}")
+    lines += [
+        "",
+        f"ideal-over-pigz  GMean: measured "
+        f"{norm['0TimeDec']/norm['pigz']:.1f}x, paper "
+        f"{PAPER_GMEAN['pigz']}x",
+        f"ideal-over-(N)Spr GMean: measured {norm['0TimeDec']:.1f}x, "
+        f"paper {PAPER_GMEAN['(N)Spr']}x",
+    ]
+    write_result("fig04_motivation", "\n".join(lines))
+
+    # Shape: eliminating preparation wins big over pigz, substantially
+    # over (N)Spr.
+    assert 6.0 < norm["0TimeDec"] / norm["pigz"] < 25.0
+    assert 2.0 < norm["0TimeDec"] < 8.0
+
+    benchmark(evaluate, "(N)Spr", measured_models["RS2"], system)

@@ -1,0 +1,81 @@
+"""Fig. 13 — end-to-end speedup of every configuration, PCIe and SATA.
+
+Eight data-preparation configurations x five datasets x two SSD classes,
+using measured compression ratios from this repository's codecs.  Paper
+GMean targets (PCIe): SAGe = 12.3x/3.9x/3.0x over pigz/(N)Spr/(N)SprAC;
+SATA: 8.1x/2.7x/2.1x; SAGe == 0TimeDec; SAGeSSD+ISF loses to SAGe only
+for RS1/RS4 on SATA.
+"""
+
+from repro.hardware.ssd import pcie_ssd, sata_ssd
+from repro.pipeline import PREP_ORDER, SystemConfig, evaluate
+
+from benchmarks.conftest import RS_LABELS, gmean, write_result
+
+PAPER_PCIE = {"pigz": 12.3, "(N)Spr": 3.9, "(N)SprAC": 3.0}
+PAPER_SATA = {"pigz": 8.1, "(N)Spr": 2.7, "(N)SprAC": 2.1}
+
+
+def _table(models, system):
+    base = {l: evaluate("(N)Spr", models[l], system)
+            .throughput_bases_per_s for l in RS_LABELS}
+    table = {}
+    for prep in PREP_ORDER:
+        table[prep] = [
+            evaluate(prep, models[l], system).throughput_bases_per_s
+            / base[l] for l in RS_LABELS]
+    return table
+
+
+def test_fig13_endtoend(benchmark, measured_models):
+    lines = ["Fig. 13 — end-to-end speedup over (N)Spr", ""]
+    tables = {}
+    for make_ssd, tag in ((pcie_ssd, "PCIe SSD"), (sata_ssd, "SATA SSD")):
+        system = SystemConfig(ssd=make_ssd())
+        table = _table(measured_models, system)
+        tables[tag] = table
+        lines.append(f"--- {tag} ---")
+        lines.append("config        "
+                     + "".join(f"{l:>8}" for l in RS_LABELS) + "   GMean")
+        for prep in PREP_ORDER:
+            lines.append(f"{prep:<14}"
+                         + "".join(f"{v:8.2f}" for v in table[prep])
+                         + f"{gmean(table[prep]):8.2f}")
+        lines.append("")
+
+    pcie = tables["PCIe SSD"]
+    sata = tables["SATA SSD"]
+    sage_gm = gmean(pcie["SAGe"])
+    lines.append("paper-vs-measured (GMean speedup of SAGe over each):")
+    for baseline, target in PAPER_PCIE.items():
+        measured = sage_gm / gmean(pcie[baseline])
+        lines.append(f"  PCIe vs {baseline:<9} paper {target:5.1f}x   "
+                     f"measured {measured:5.1f}x")
+    sage_gm_sata = gmean(sata["SAGe"])
+    for baseline, target in PAPER_SATA.items():
+        measured = sage_gm_sata / gmean(sata[baseline])
+        lines.append(f"  SATA vs {baseline:<9} paper {target:5.1f}x   "
+                     f"measured {measured:5.1f}x")
+    write_result("fig13_endtoend", "\n".join(lines))
+
+    # --- shape assertions ---
+    # SAGe fully hides decompression: matches the ideal decompressor.
+    for a, b in zip(pcie["SAGe"], pcie["0TimeDec"]):
+        assert abs(a - b) / b < 0.05
+    # Win ordering on PCIe.
+    assert gmean(pcie["pigz"]) < gmean(pcie["(N)Spr"]) \
+        <= gmean(pcie["(N)SprAC"]) < gmean(pcie["SAGeSW"]) \
+        < gmean(pcie["SAGe"])
+    # Rough factors (PCIe).
+    assert 7.0 < sage_gm / gmean(pcie["pigz"]) < 25.0
+    assert 2.5 < sage_gm < 7.0
+    # SAGeSSD+ISF wins everywhere on PCIe...
+    for isf, sage in zip(pcie["SAGeSSD+ISF"], pcie["SAGe"]):
+        assert isf > sage
+    # ...but on SATA the paper's RS1/RS4 crossovers appear.
+    winners = ["SAGe" if s > i else "ISF"
+               for s, i in zip(sata["SAGe"], sata["SAGeSSD+ISF"])]
+    assert winners == ["SAGe", "ISF", "ISF", "SAGe", "ISF"]
+
+    system = SystemConfig(ssd=pcie_ssd())
+    benchmark(_table, measured_models, system)

@@ -1,0 +1,51 @@
+"""Fig. 14 — data-preparation-only throughput, normalized to pigz.
+
+Preparation = I/O + decompression, excluding analysis.  Paper: SAGe is
+91.3x / 29.5x / 22.3x over pigz / (N)Spr / (N)SprAC on the PCIe system.
+"""
+
+from repro.pipeline import SystemConfig, build_stages
+
+from benchmarks.conftest import RS_LABELS, gmean, write_result
+
+PAPER = {"(N)Spr": 91.3 / 29.5, "(N)SprAC": 91.3 / 22.3, "SAGe": 91.3}
+
+CONFIGS = ("pigz", "(N)Spr", "(N)SprAC", "SAGe")
+
+
+def _prep_rate(prep, model, system):
+    """Preparation pipeline rate: the slowest non-analysis stage."""
+    stages = build_stages(prep, model, system)
+    return min(s.rate_units_per_s for s in stages
+               if s.name != "analysis")
+
+
+def test_fig14_dataprep(benchmark, measured_models):
+    system = SystemConfig()
+    rates = {prep: [_prep_rate(prep, measured_models[l], system)
+                    for l in RS_LABELS] for prep in CONFIGS}
+
+    lines = ["Fig. 14 — data preparation speedup over pigz", "",
+             "config      " + "".join(f"{l:>9}" for l in RS_LABELS)
+             + "    GMean"]
+    gmeans = {}
+    for prep in CONFIGS:
+        values = [r / p for r, p in zip(rates[prep], rates["pigz"])]
+        gmeans[prep] = gmean(values)
+        lines.append(f"{prep:<12}"
+                     + "".join(f"{v:9.1f}" for v in values)
+                     + f"{gmeans[prep]:9.1f}")
+    lines += ["",
+              f"paper: SAGe prep is 91.3x over pigz, 29.5x over (N)Spr, "
+              f"22.3x over (N)SprAC",
+              f"measured: {gmeans['SAGe']:.1f}x over pigz, "
+              f"{gmeans['SAGe']/gmeans['(N)Spr']:.1f}x over (N)Spr, "
+              f"{gmeans['SAGe']/gmeans['(N)SprAC']:.1f}x over (N)SprAC"]
+    write_result("fig14_dataprep", "\n".join(lines))
+
+    # Shape: prep-only gaps are much larger than end-to-end gaps.
+    assert gmeans["SAGe"] > 25.0
+    assert gmeans["SAGe"] / gmeans["(N)Spr"] > 5.0
+    assert gmeans["(N)SprAC"] > gmeans["(N)Spr"]
+
+    benchmark(_prep_rate, "SAGe", measured_models["RS2"], system)

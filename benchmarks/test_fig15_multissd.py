@@ -1,0 +1,54 @@
+"""Fig. 15 — end-to-end speedup with multiple SSDs (1x / 2x / 4x).
+
+SAGe's streams partition across SSDs (reads map independently), so I/O
+and in-SSD stages scale with drive count.  Paper: SAGe holds its speedup;
+SAGeSSD+ISF gains for the datasets where in-SSD work was the bottleneck
+(RS3, RS5).
+"""
+
+from repro.hardware.ssd import pcie_ssd
+from repro.pipeline import SystemConfig, evaluate
+
+from benchmarks.conftest import RS_LABELS, write_result
+
+
+def _speedups(models, n_ssd):
+    system = SystemConfig(ssd=pcie_ssd(), n_ssd=n_ssd)
+    out = {}
+    for label in RS_LABELS:
+        base = evaluate("(N)Spr", models[label],
+                        system).throughput_bases_per_s
+        out[label] = {
+            prep: evaluate(prep, models[label], system)
+            .throughput_bases_per_s / base
+            for prep in ("SAGe", "SAGeSSD+ISF")}
+    return out
+
+
+def test_fig15_multi_ssd(benchmark, measured_models):
+    by_count = {n: _speedups(measured_models, n) for n in (1, 2, 4)}
+
+    lines = ["Fig. 15 — end-to-end speedup over (N)Spr vs #SSDs", "",
+             "dataset  config        x1      x2      x4"]
+    for label in RS_LABELS:
+        for prep in ("SAGe", "SAGeSSD+ISF"):
+            row = [by_count[n][label][prep] for n in (1, 2, 4)]
+            lines.append(f"{label:<8} {prep:<12}"
+                         + "".join(f"{v:8.2f}" for v in row))
+    write_result("fig15_multissd", "\n".join(lines))
+
+    for label in RS_LABELS:
+        # Monotone non-decreasing in SSD count for both configs.
+        for prep in ("SAGe", "SAGeSSD+ISF"):
+            series = [by_count[n][label][prep] for n in (1, 2, 4)]
+            assert series[0] <= series[1] + 1e-9
+            assert series[1] <= series[2] + 1e-9
+
+    # The paper's scaling datasets: ISF-side stages were on the critical
+    # path for RS3/RS5, so extra SSDs help SAGeSSD+ISF there.
+    assert by_count[4]["RS3"]["SAGeSSD+ISF"] \
+        > by_count[1]["RS3"]["SAGeSSD+ISF"] * 1.2
+    assert by_count[4]["RS5"]["SAGeSSD+ISF"] \
+        > by_count[1]["RS5"]["SAGeSSD+ISF"] * 1.1
+
+    benchmark(_speedups, measured_models, 2)

@@ -1,0 +1,49 @@
+"""Fig. 16 — end-to-end energy reduction, normalized to (N)SprAC.
+
+Paper GMeans: SAGe is 34.0x / 16.9x / 13.0x more energy-efficient than
+pigz / (N)Spr / (N)SprAC; software SAGe sits between (N)Spr and SAGe.
+"""
+
+from repro.pipeline import SystemConfig, evaluate
+
+from benchmarks.conftest import RS_LABELS, gmean, write_result
+
+PAPER = {"pigz": 13.0 / 34.0, "(N)Spr": 13.0 / 16.9, "SAGe": 13.0}
+
+CONFIGS = ("pigz", "(N)Spr", "SAGeSW", "SAGe")
+
+
+def test_fig16_energy(benchmark, measured_models):
+    system = SystemConfig()
+    base = {l: evaluate("(N)SprAC", measured_models[l],
+                        system).energy.total_joules for l in RS_LABELS}
+
+    lines = ["Fig. 16 — energy reduction over (N)SprAC "
+             "(higher is better)", "",
+             "config      " + "".join(f"{l:>9}" for l in RS_LABELS)
+             + "    GMean"]
+    gmeans = {}
+    for prep in CONFIGS:
+        values = [base[l] / evaluate(prep, measured_models[l],
+                                     system).energy.total_joules
+                  for l in RS_LABELS]
+        gmeans[prep] = gmean(values)
+        lines.append(f"{prep:<12}"
+                     + "".join(f"{v:9.2f}" for v in values)
+                     + f"{gmeans[prep]:9.2f}")
+    lines += [
+        "",
+        f"paper: SAGe 13.0x over (N)SprAC "
+        f"(=> 16.9x over (N)Spr, 34.0x over pigz)",
+        f"measured: SAGe {gmeans['SAGe']:.1f}x over (N)SprAC, "
+        f"{gmeans['SAGe']/gmeans['(N)Spr']:.1f}x over (N)Spr, "
+        f"{gmeans['SAGe']/gmeans['pigz']:.1f}x over pigz",
+    ]
+    write_result("fig16_energy", "\n".join(lines))
+
+    # Shape: hardware SAGe removes the host CPU from the prep loop.
+    assert 7.0 < gmeans["SAGe"] < 25.0
+    assert gmeans["pigz"] < gmeans["(N)Spr"] < gmeans["SAGeSW"] \
+        < gmeans["SAGe"]
+
+    benchmark(evaluate, "SAGe", measured_models["RS2"], system)

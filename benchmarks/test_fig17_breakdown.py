@@ -1,0 +1,75 @@
+"""Fig. 17 — effect of each SAGe optimization on mismatch-info size.
+
+Compresses a short (RS2) and a long (RS4) analog at every optimization
+level NO, O1..O4 and prints the per-category breakdown normalized to the
+unoptimized size.  Expected movements (paper §8.4): O1 shrinks matching
+positions (short reads); O2 shrinks mismatch counts (short) and positions
+(long); O3 shrinks the base/type payload via chimeric top-N and type
+inference while matching positions grow slightly; O4 trims corner-case
+labeling.
+"""
+
+from repro.analysis import FIG17_LABELS, run_ablation
+from repro.core.mismatch import CATEGORIES, OptLevel
+
+from benchmarks.conftest import write_result
+
+
+def _render(result):
+    lines = [f"--- {result.label} ---",
+             "category          " + "".join(f"{lvl.name:>8}"
+                                            for lvl in OptLevel)]
+    norm = result.normalized()
+    for cat in CATEGORIES:
+        row = [norm[lvl][cat] for lvl in OptLevel]
+        lines.append(f"{FIG17_LABELS[cat]:<18}"
+                     + "".join(f"{v:8.3f}" for v in row))
+    totals = [result.total_bits(lvl) / result.total_bits(OptLevel.NO)
+              for lvl in OptLevel]
+    lines.append(f"{'TOTAL':<18}" + "".join(f"{v:8.3f}" for v in totals))
+    return lines
+
+
+def test_fig17_breakdown(benchmark, bench_sims):
+    short = run_ablation(bench_sims["RS2"].read_set,
+                         bench_sims["RS2"].reference, label="RS2 (short)")
+    long_res = run_ablation(bench_sims["RS4"].read_set,
+                            bench_sims["RS4"].reference,
+                            label="RS4 (long)")
+
+    lines = ["Fig. 17 — size breakdown of mismatch information "
+             "(normalized to NO)", ""]
+    lines += _render(short) + [""] + _render(long_res)
+    write_result("fig17_breakdown", "\n".join(lines))
+
+    s, l = short.breakdowns, long_res.breakdowns
+    # O1: matching positions collapse for short reads.
+    assert s[OptLevel.O1].get("matching_pos") \
+        < 0.6 * s[OptLevel.NO].get("matching_pos")
+    # O2: mismatch counts collapse for short reads, positions for long.
+    assert s[OptLevel.O2].get("mismatch_counts") \
+        < 0.5 * s[OptLevel.O1].get("mismatch_counts")
+    assert l[OptLevel.O2].get("mismatch_pos") \
+        < 0.6 * l[OptLevel.O1].get("mismatch_pos")
+    # O3: base/type payload shrinks; matching positions may grow (extra
+    # chimeric segments).
+    o2_payload = l[OptLevel.O2].get("mismatch_bases") \
+        + l[OptLevel.O2].get("mismatch_types")
+    o3_payload = l[OptLevel.O3].get("mismatch_bases") \
+        + l[OptLevel.O3].get("mismatch_types")
+    assert o3_payload < 0.8 * o2_payload
+    assert l[OptLevel.O3].get("matching_pos") \
+        >= l[OptLevel.O2].get("matching_pos")
+    # O4: corner labeling shrinks, nothing grows.
+    assert l[OptLevel.O4].get("contains_n") \
+        <= l[OptLevel.O3].get("contains_n")
+    assert long_res.total_bits(OptLevel.O4) \
+        <= long_res.total_bits(OptLevel.O3)
+    # Cumulative reduction is substantial for both kinds.
+    assert short.reduction(OptLevel.O4) < 0.7
+    assert long_res.reduction(OptLevel.O4) < 0.6
+
+    benchmark.pedantic(
+        run_ablation, args=(bench_sims["RS4"].read_set,
+                            bench_sims["RS4"].reference),
+        kwargs={"levels": (OptLevel.O4,)}, rounds=1, iterations=1)

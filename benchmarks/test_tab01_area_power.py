@@ -1,0 +1,46 @@
+"""Table 1 — area and power of SAGe's logic units (22 nm, 1 GHz).
+
+Constants are the paper's synthesis results; the table is regenerated
+from the per-unit values and cross-checked against the paper's totals.
+"""
+
+import pytest
+
+from repro.hardware import area_power
+
+from benchmarks.conftest import write_result
+
+PAPER_TOTAL_AREA = 0.002     # mm^2 (includes mode-3 double registers)
+PAPER_TOTAL_POWER = 0.49     # mW (mode-3 registers add 0.28)
+PAPER_MODE3_EXTRA = 0.28
+PAPER_CORE_FRACTION = 0.007  # of three SSD-controller cores
+
+
+def test_tab01_area_power(benchmark):
+    rows = benchmark(area_power.table1_rows, 8)
+
+    lines = ["Table 1 — area and power of SAGe's logic", "",
+             f"{'unit':<28}{'instances':<16}{'area mm2':>12}"
+             f"{'power mW':>10}"]
+    for row in rows:
+        lines.append(f"{row['unit']:<28}{row['instances']:<16}"
+                     f"{row['area_mm2']:>12.6f}{row['power_mw']:>10.3f}")
+    total = rows[-1]
+    lines += [
+        "",
+        f"paper totals: {PAPER_TOTAL_AREA} mm2, {PAPER_TOTAL_POWER} mW "
+        f"(+{PAPER_MODE3_EXTRA} mW for mode 3)",
+        f"area fraction of 3 SSD-controller cores: "
+        f"{area_power.area_fraction_of_ssd_cores():.2%} "
+        f"(paper: {PAPER_CORE_FRACTION:.1%})",
+        f"FPGA utilization: {area_power.FPGA_LUT_FRACTION:.1%} LUTs, "
+        f"{area_power.FPGA_FF_FRACTION:.1%} FFs of a KU15P (paper §6)",
+    ]
+    write_result("tab01_area_power", "\n".join(lines))
+
+    assert total["area_mm2"] == pytest.approx(PAPER_TOTAL_AREA, rel=0.2)
+    assert total["power_mw"] == pytest.approx(PAPER_TOTAL_POWER, rel=0.05)
+    assert total["power_mw_mode3_extra"] \
+        == pytest.approx(PAPER_MODE3_EXTRA, rel=0.05)
+    assert area_power.area_fraction_of_ssd_cores() \
+        == pytest.approx(PAPER_CORE_FRACTION, rel=0.1)

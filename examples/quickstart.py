@@ -1,0 +1,59 @@
+"""Quickstart: compress and decompress a read set with SAGe.
+
+Generates a synthetic analog of the paper's RS2 dataset (deep human
+short reads), compresses it against the reference, verifies losslessness,
+and prints the compression ratios and the per-category size breakdown.
+
+Run:  python examples/quickstart.py
+"""
+
+from repro.core import (OutputFormat, SAGeCompressor, SAGeConfig,
+                        SAGeDecompressor)
+from repro.core.container import SAGeArchive
+from repro.core.formats import encode_output
+from repro.genomics import datasets
+
+
+def main() -> None:
+    # 1. A read set. Real users parse FASTQ (repro.genomics.fastq);
+    #    here we simulate the paper's RS2 analog.
+    sim = datasets.generate("RS2", base_genome=20_000)
+    read_set = sim.read_set
+    print(f"read set: {len(read_set)} reads, "
+          f"{read_set.total_bases:,} bases "
+          f"({'fixed' if read_set.is_fixed_length else 'variable'} length)")
+
+    # 2. Compress against the reference (the consensus sequence).
+    compressor = SAGeCompressor(sim.reference, SAGeConfig())
+    archive = compressor.compress(read_set)
+    blob = archive.to_bytes()
+
+    dna_cr = read_set.total_bases / archive.dna_byte_size()
+    fastq_cr = read_set.uncompressed_fastq_bytes() / len(blob)
+    print(f"compressed: {len(blob):,} B "
+          f"(DNA ratio {dna_cr:.1f}x, whole-FASTQ ratio {fastq_cr:.1f}x)")
+
+    # 3. Size breakdown (the Fig. 17 categories).
+    print("size breakdown (bits):")
+    for category, bits in sorted(archive.breakdown.bits.items(),
+                                 key=lambda kv: -kv[1]):
+        print(f"  {category:<16} {bits:>10,}")
+
+    # 4. Decompress — archives are self-contained byte blobs.
+    restored = SAGeDecompressor(SAGeArchive.from_bytes(blob)).decompress()
+    original = sorted(r.codes.tobytes() for r in read_set)
+    decoded = sorted(r.codes.tobytes() for r in restored)
+    assert original == decoded, "round trip must be lossless"
+    print(f"round trip: lossless ({len(restored)} reads restored)")
+
+    # 5. SAGe_Read output formats (§5.4): hand the analysis accelerator
+    #    whatever encoding it consumes directly.
+    first = restored[0].codes
+    print(f"first read, ASCII : "
+          f"{encode_output(first, OutputFormat.ASCII)[:40]}...")
+    packed = encode_output(first, OutputFormat.THREE_BIT)
+    print(f"first read, 3-bit : {len(packed)} bytes for {first.size} bases")
+
+
+if __name__ == "__main__":
+    main()

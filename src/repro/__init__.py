@@ -1,0 +1,28 @@
+"""repro — reproduction of SAGe (HPCA 2026).
+
+SAGe is an algorithm-architecture co-design for highly-compressed storage
+and high-performance access of genomic sequence data, mitigating the data
+preparation bottleneck in genome sequence analysis.  This package provides
+the full system: the SAGe codec and hardware model, the genomic data
+substrate, baseline compressors, SSD/DRAM/interconnect models, and the
+end-to-end pipeline evaluation used to regenerate the paper's figures.
+
+Quickstart::
+
+    from repro import genomics, core
+    sim = genomics.datasets.generate("RS2", base_genome=20_000)
+    archive = core.compress(sim.read_set, sim.reference)
+    reads = core.decompress(archive)
+"""
+
+from . import analysis, baselines, core, genomics, hardware, mapping, pipeline
+from .core import (OptLevel, SAGeArchive, SAGeCompressor, SAGeConfig,
+                   SAGeDecompressor, compress, decompress)
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "analysis", "baselines", "core", "genomics", "hardware", "mapping",
+    "pipeline", "OptLevel", "SAGeArchive", "SAGeCompressor", "SAGeConfig",
+    "SAGeDecompressor", "compress", "decompress", "__version__",
+]

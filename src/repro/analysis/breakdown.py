@@ -1,0 +1,68 @@
+"""Optimization-level ablation — Fig. 17.
+
+Compresses one read set at every optimization level NO, O1..O4 and
+reports the mismatch-information size breakdown per level, normalized to
+the unoptimized total, exactly the quantity Fig. 17 plots.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..core.compressor import SAGeCompressor, SAGeConfig
+from ..core.mismatch import CATEGORIES, OptLevel, SizeBreakdown
+from ..genomics.reads import ReadSet
+
+#: Fig. 17 legend labels for each breakdown category.
+FIG17_LABELS = {
+    "unmapped": "Unmapped",
+    "rev": "Rev",
+    "read_length": "Read Length",
+    "contains_n": "Contains N",
+    "mismatch_bases": "Mismatch Bases",
+    "mismatch_types": "Mismatch Types",
+    "mismatch_pos": "Mismatch Pos.",
+    "mismatch_counts": "Mismatch Counts",
+    "matching_pos": "Matching Pos.",
+}
+
+
+@dataclass
+class AblationResult:
+    """Per-level size breakdowns for one read set."""
+
+    label: str
+    breakdowns: dict[OptLevel, SizeBreakdown]
+
+    def total_bits(self, level: OptLevel) -> int:
+        return self.breakdowns[level].mismatch_info_bits
+
+    def normalized(self) -> dict[OptLevel, dict[str, float]]:
+        """Category sizes per level, normalized to the NO-level total."""
+        base = max(1, self.total_bits(OptLevel.NO))
+        out: dict[OptLevel, dict[str, float]] = {}
+        for level, breakdown in self.breakdowns.items():
+            out[level] = {cat: breakdown.get(cat) / base
+                          for cat in CATEGORIES}
+        return out
+
+    def reduction(self, level: OptLevel) -> float:
+        """Size at ``level`` relative to the unoptimized size."""
+        return self.total_bits(level) / max(1, self.total_bits(OptLevel.NO))
+
+
+def run_ablation(read_set: ReadSet, reference: np.ndarray,
+                 with_quality: bool = False,
+                 levels: tuple[OptLevel, ...] = tuple(OptLevel),
+                 label: str = "") -> AblationResult:
+    """Compress at each level and collect the Fig. 17 breakdowns."""
+    breakdowns: dict[OptLevel, SizeBreakdown] = {}
+    for level in levels:
+        config = SAGeConfig(level=level, with_quality=with_quality)
+        archive = SAGeCompressor(np.asarray(reference, dtype=np.uint8),
+                                 config).compress(read_set)
+        breakdowns[level] = archive.breakdown
+    return AblationResult(label=label or read_set.name,
+                          breakdowns=breakdowns)

@@ -1,0 +1,115 @@
+"""Dataset property analysis — the statistics behind Figs. 7 and 10.
+
+One mapping pass over a read set produces every distribution the paper
+uses to motivate its encodings: bit counts of delta-encoded mismatch
+positions (Property 1), mismatch counts per read (Property 2), indel
+block lengths and the bases they hold (Property 3), and bit counts of
+delta-encoded matching positions after reordering (Property 6).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from ..core.tuning import bit_count_histogram
+from ..genomics.reads import ReadSet
+from ..mapping.alignment import DEL, INS, SUB
+from ..mapping.mapper import MapperConfig, ReadMapper
+
+
+@dataclass
+class PropertyReport:
+    """Raw values gathered from one mapping pass."""
+
+    mismatch_pos_deltas: np.ndarray
+    mismatch_counts: np.ndarray
+    indel_block_lengths: np.ndarray
+    matching_pos_deltas: np.ndarray
+    n_unmapped: int = 0
+    n_chimeric: int = 0
+    n_reads: int = 0
+
+    # -- Fig 7(a): bit counts of delta-encoded mismatch positions ------
+
+    def mismatch_pos_bitcount_hist(self, max_bits: int = 32) -> np.ndarray:
+        return bit_count_histogram(self.mismatch_pos_deltas, max_bits)
+
+    # -- Fig 7(b): mismatch counts per read ----------------------------
+
+    def mismatch_count_hist(self) -> np.ndarray:
+        if self.mismatch_counts.size == 0:
+            return np.zeros(1, dtype=np.int64)
+        return np.bincount(self.mismatch_counts)
+
+    # -- Fig 7(c): CDF of indel block lengths ---------------------------
+
+    def indel_length_cdf(self) -> tuple[np.ndarray, np.ndarray]:
+        lengths = np.sort(self.indel_block_lengths)
+        if lengths.size == 0:
+            return np.array([1]), np.array([1.0])
+        unique, counts = np.unique(lengths, return_counts=True)
+        return unique, np.cumsum(counts) / lengths.size
+
+    # -- Fig 7(d): CDF of bases held by blocks of each length -----------
+
+    def indel_bases_cdf(self) -> tuple[np.ndarray, np.ndarray]:
+        lengths = np.sort(self.indel_block_lengths)
+        if lengths.size == 0:
+            return np.array([1]), np.array([1.0])
+        unique, counts = np.unique(lengths, return_counts=True)
+        bases = unique * counts
+        return unique, np.cumsum(bases) / bases.sum()
+
+    # -- Fig 10: bit counts of delta-encoded matching positions ---------
+
+    def matching_pos_bitcount_hist(self, max_bits: int = 32) -> np.ndarray:
+        return bit_count_histogram(self.matching_pos_deltas, max_bits)
+
+    def matching_pos_bitcount_fractions(self) -> np.ndarray:
+        hist = self.matching_pos_bitcount_hist()
+        total = max(1, hist.sum())
+        return hist / total
+
+
+def analyze(read_set: ReadSet, reference: np.ndarray,
+            mapper_config: MapperConfig | None = None) -> PropertyReport:
+    """Gather the Fig. 7 / Fig. 10 statistics for one read set."""
+    mapper = ReadMapper(np.asarray(reference, dtype=np.uint8),
+                        mapper_config)
+    pos_deltas: list[int] = []
+    counts: list[int] = []
+    indel_lengths: list[int] = []
+    first_positions: list[int] = []
+    n_unmapped = 0
+    n_chimeric = 0
+
+    for read in read_set:
+        mapping = mapper.map_read(read.codes)
+        if mapping.unmapped:
+            n_unmapped += 1
+            continue
+        if mapping.is_chimeric:
+            n_chimeric += 1
+        first_positions.append(mapping.segments[0].cons_start)
+        n_mismatches = 0
+        for segment in sorted(mapping.segments,
+                              key=lambda s: s.read_start):
+            prev = 0
+            for op in segment.ops:
+                n_mismatches += 1
+                pos_deltas.append(op.read_pos - prev)
+                prev = op.read_pos
+                if op.kind in (INS, DEL):
+                    indel_lengths.append(op.length)
+        counts.append(n_mismatches)
+
+    first_positions.sort()
+    deltas = np.diff(np.array([0] + first_positions, dtype=np.int64))
+    return PropertyReport(
+        mismatch_pos_deltas=np.array(pos_deltas, dtype=np.int64),
+        mismatch_counts=np.array(counts, dtype=np.int64),
+        indel_block_lengths=np.array(indel_lengths, dtype=np.int64),
+        matching_pos_deltas=deltas, n_unmapped=n_unmapped,
+        n_chimeric=n_chimeric, n_reads=len(read_set))

@@ -1,0 +1,186 @@
+"""Canonical Huffman coding.
+
+Used three ways in the reproduction: as the entropy stage of the
+DEFLATE-like general-purpose baseline (pigz analog), as the back-end of
+the Spring-analog genomic compressor, and as the quality-score codec
+shared between the Spring analog and SAGe (§5.1.5: SAGe reuses the same
+quality compression as Spring's lossless mode).
+
+Encoding is vectorized through string join + ``np.packbits``; decoding
+uses a flat lookup table indexed by the next ``PEEK_BITS`` bits.
+"""
+
+from __future__ import annotations
+
+import heapq
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..core.bitio import BitReader, BitWriter
+
+#: Lookup-table width for fast decoding; also the maximum code length.
+PEEK_BITS = 15
+
+
+class HuffmanError(ValueError):
+    """Raised on invalid Huffman tables or streams."""
+
+
+def code_lengths_from_counts(counts: np.ndarray,
+                             max_length: int = PEEK_BITS) -> np.ndarray:
+    """Optimal code lengths for symbol frequencies (length-limited).
+
+    Standard heap-based Huffman; if the tree exceeds ``max_length``, the
+    counts are flattened (square-root damping) and rebuilt, which bounds
+    the depth for any realistic alphabet.
+    """
+    counts = np.asarray(counts, dtype=np.int64)
+    n = counts.size
+    lengths = np.zeros(n, dtype=np.int64)
+    present = np.nonzero(counts)[0]
+    if present.size == 0:
+        return lengths
+    if present.size == 1:
+        lengths[present[0]] = 1
+        return lengths
+
+    work = counts.astype(np.float64)
+    while True:
+        heap: list[tuple[float, int, tuple[int, ...]]] = []
+        serial = 0
+        for sym in present:
+            heap.append((float(work[sym]), serial, (int(sym),)))
+            serial += 1
+        heapq.heapify(heap)
+        depth = np.zeros(n, dtype=np.int64)
+        while len(heap) > 1:
+            c1, _, s1 = heapq.heappop(heap)
+            c2, _, s2 = heapq.heappop(heap)
+            merged = s1 + s2
+            for sym in merged:
+                depth[sym] += 1
+            heapq.heappush(heap, (c1 + c2, serial, merged))
+            serial += 1
+        if depth.max() <= max_length:
+            lengths[present] = depth[present]
+            return lengths
+        work = np.sqrt(work) + 1  # damp and retry with a flatter tree
+
+
+def canonical_codes(lengths: np.ndarray) -> np.ndarray:
+    """Assign canonical code values for given code lengths."""
+    lengths = np.asarray(lengths, dtype=np.int64)
+    codes = np.zeros(lengths.size, dtype=np.int64)
+    code = 0
+    prev_len = 0
+    order = sorted((int(l), i) for i, l in enumerate(lengths) if l > 0)
+    for length, sym in order:
+        code <<= (length - prev_len)
+        codes[sym] = code
+        code += 1
+        prev_len = length
+    return codes
+
+
+@dataclass
+class HuffmanTable:
+    """Canonical Huffman code table for a contiguous symbol alphabet."""
+
+    lengths: np.ndarray
+    codes: np.ndarray
+
+    @classmethod
+    def from_counts(cls, counts: np.ndarray) -> "HuffmanTable":
+        lengths = code_lengths_from_counts(counts)
+        return cls(lengths=lengths, codes=canonical_codes(lengths))
+
+    @property
+    def alphabet_size(self) -> int:
+        return int(self.lengths.size)
+
+    # ------------------------------------------------------------------
+    # Serialization: alphabet size + 4 bits per symbol length.
+    # ------------------------------------------------------------------
+
+    def serialize(self, writer: BitWriter) -> None:
+        writer.write(self.alphabet_size, 16)
+        for length in self.lengths:
+            writer.write(int(length), 4)
+
+    @classmethod
+    def deserialize(cls, reader: BitReader) -> "HuffmanTable":
+        size = reader.read(16)
+        lengths = np.array([reader.read(4) for _ in range(size)],
+                           dtype=np.int64)
+        return cls(lengths=lengths, codes=canonical_codes(lengths))
+
+    # ------------------------------------------------------------------
+    # Vectorized encode
+    # ------------------------------------------------------------------
+
+    def encode(self, symbols: np.ndarray) -> tuple[bytes, int]:
+        """Encode a symbol array; returns (payload bytes, bit length)."""
+        symbols = np.asarray(symbols, dtype=np.int64)
+        if symbols.size == 0:
+            return b"", 0
+        if (self.lengths[symbols] == 0).any():
+            raise HuffmanError("symbol outside the coded alphabet")
+        strings = np.array(
+            [format(int(c), f"0{int(l)}b") if l else ""
+             for c, l in zip(self.codes, self.lengths)], dtype=object)
+        bit_text = "".join(strings[symbols])
+        bits = np.frombuffer(bit_text.encode("ascii"), dtype=np.uint8) - 48
+        payload = np.packbits(bits).tobytes()
+        return payload, len(bit_text)
+
+    # ------------------------------------------------------------------
+    # Table-driven decode
+    # ------------------------------------------------------------------
+
+    def _decode_table(self) -> tuple[np.ndarray, np.ndarray]:
+        """(symbol, length) lookup tables indexed by PEEK_BITS-bit peek."""
+        sym_tab = np.zeros(1 << PEEK_BITS, dtype=np.int32)
+        len_tab = np.zeros(1 << PEEK_BITS, dtype=np.int8)
+        for sym in range(self.alphabet_size):
+            length = int(self.lengths[sym])
+            if length == 0:
+                continue
+            prefix = int(self.codes[sym]) << (PEEK_BITS - length)
+            span = 1 << (PEEK_BITS - length)
+            sym_tab[prefix:prefix + span] = sym
+            len_tab[prefix:prefix + span] = length
+        return sym_tab, len_tab
+
+    def decode(self, payload: bytes, n_symbols: int) -> np.ndarray:
+        """Decode ``n_symbols`` symbols from an encoded payload."""
+        sym_tab, len_tab = self._decode_table()
+        out = np.empty(n_symbols, dtype=np.int64)
+        data = payload + b"\x00\x00"  # peek guard
+        acc = 0
+        acc_bits = 0
+        byte_pos = 0
+        mask = (1 << PEEK_BITS) - 1
+        for i in range(n_symbols):
+            while acc_bits < PEEK_BITS:
+                acc = (acc << 8) | data[byte_pos]
+                byte_pos += 1
+                acc_bits += 8
+            peek = (acc >> (acc_bits - PEEK_BITS)) & mask
+            length = int(len_tab[peek])
+            if length == 0:
+                raise HuffmanError("invalid code in stream")
+            out[i] = sym_tab[peek]
+            acc_bits -= length
+            acc &= (1 << acc_bits) - 1
+        return out
+
+
+def entropy_bits(counts: np.ndarray) -> float:
+    """Shannon entropy (bits/symbol) of a count vector; 0 if empty."""
+    counts = np.asarray(counts, dtype=np.float64)
+    total = counts.sum()
+    if total <= 0:
+        return 0.0
+    probs = counts[counts > 0] / total
+    return float(-(probs * np.log2(probs)).sum())

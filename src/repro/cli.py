@@ -1,0 +1,128 @@
+"""``sage`` command-line interface.
+
+Subcommands::
+
+    sage compress   input.fastq consensus.txt output.sage [--level O4]
+    sage decompress input.sage output.fastq
+    sage inspect    input.sage
+    sage simulate   RS2 output.fastq [--genome 50000] [--ref ref.txt]
+
+The consensus file is plain ACGT text (a reference genome); ``simulate``
+writes one alongside the FASTQ so the two commands compose.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from pathlib import Path
+
+import numpy as np
+
+from .core import (OptLevel, SAGeArchive, SAGeCompressor, SAGeConfig,
+                   SAGeDecompressor)
+from .genomics import datasets, fastq
+from .genomics import sequence as seqmod
+
+
+def _read_consensus(path: str) -> np.ndarray:
+    text = Path(path).read_text(encoding="ascii").strip().replace("\n", "")
+    return seqmod.encode(text)
+
+
+def _cmd_compress(args: argparse.Namespace) -> int:
+    read_set = fastq.read_file(args.input)
+    consensus = _read_consensus(args.consensus)
+    config = SAGeConfig(level=OptLevel[args.level],
+                        with_quality=not args.no_quality)
+    archive = SAGeCompressor(consensus, config).compress(read_set)
+    blob = archive.to_bytes()
+    Path(args.output).write_bytes(blob)
+    original = read_set.uncompressed_fastq_bytes()
+    print(f"{args.input}: {original} B -> {len(blob)} B "
+          f"(ratio {original / len(blob):.2f}, "
+          f"DNA ratio {read_set.total_bases / archive.dna_byte_size():.2f})")
+    return 0
+
+
+def _cmd_decompress(args: argparse.Namespace) -> int:
+    blob = Path(args.input).read_bytes()
+    archive = SAGeArchive.from_bytes(blob)
+    read_set = SAGeDecompressor(archive).decompress()
+    fastq.write_file(read_set, args.output)
+    print(f"{args.input}: {len(read_set)} reads -> {args.output}")
+    return 0
+
+
+def _cmd_inspect(args: argparse.Namespace) -> int:
+    archive = SAGeArchive.from_bytes(Path(args.input).read_bytes())
+    print(f"level: {archive.level.name}")
+    print(f"reads: {archive.n_mapped} mapped, "
+          f"{archive.n_unmapped} unmapped")
+    print(f"consensus: {archive.consensus_length} bases")
+    print(f"fixed read length: {archive.fixed_read_length or 'variable'}")
+    print(f"quality: {'yes' if archive.quality else 'no'}")
+    for name, (_, bits) in sorted(archive.streams.items()):
+        print(f"  stream {name:<10} {bits:>12} bits")
+    for key, table in archive.tables.items():
+        print(f"  table  {key:<10} widths {table.widths}")
+    return 0
+
+
+def _cmd_simulate(args: argparse.Namespace) -> int:
+    sim = datasets.generate(args.dataset, base_genome=args.genome,
+                            seed=args.seed)
+    fastq.write_file(sim.read_set, args.output)
+    ref_path = args.ref or str(Path(args.output).with_suffix(".ref.txt"))
+    Path(ref_path).write_text(seqmod.decode(sim.reference),
+                              encoding="ascii")
+    print(f"{args.dataset}: {len(sim.read_set)} reads "
+          f"({sim.read_set.total_bases} bases) -> {args.output}; "
+          f"reference -> {ref_path}")
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="sage", description="SAGe genomic (de)compression")
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    p = sub.add_parser("compress", help="compress a FASTQ file")
+    p.add_argument("input")
+    p.add_argument("consensus")
+    p.add_argument("output")
+    p.add_argument("--level", default="O4",
+                   choices=[lvl.name for lvl in OptLevel])
+    p.add_argument("--no-quality", action="store_true")
+    p.set_defaults(func=_cmd_compress)
+
+    p = sub.add_parser("decompress", help="decompress to FASTQ")
+    p.add_argument("input")
+    p.add_argument("output")
+    p.set_defaults(func=_cmd_decompress)
+
+    p = sub.add_parser("inspect", help="describe an archive")
+    p.add_argument("input")
+    p.set_defaults(func=_cmd_inspect)
+
+    p = sub.add_parser("simulate", help="generate a synthetic read set")
+    p.add_argument("dataset", choices=["RS1", "RS2", "RS3", "RS4", "RS5"])
+    p.add_argument("output")
+    p.add_argument("--genome", type=int, default=50_000)
+    p.add_argument("--seed", type=int, default=0)
+    p.add_argument("--ref", default=None)
+    p.set_defaults(func=_cmd_simulate)
+    return parser
+
+
+def main(argv: list[str] | None = None) -> int:
+    args = build_parser().parse_args(argv)
+    try:
+        return args.func(args)
+    except BrokenPipeError:
+        # Output piped into a pager/head that closed early: not an error.
+        return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

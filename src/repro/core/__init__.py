@@ -1,0 +1,19 @@
+"""SAGe core: the paper's compression/decompression contribution (§5)."""
+
+from . import bitio, formats, prefix_codes, quality, tuning
+from .compressor import CompressionError, SAGeCompressor, SAGeConfig, compress
+from .container import ContainerError, SAGeArchive
+from .decompressor import DecompressionError, SAGeDecompressor, decompress
+from .formats import OutputFormat
+from .mismatch import CATEGORIES, OptLevel, SizeBreakdown
+from .prefix_codes import AssociationTable
+from .tuning import TuningResult, bit_count_histogram, tune, tune_values
+
+__all__ = [
+    "bitio", "formats", "prefix_codes", "quality", "tuning",
+    "CompressionError", "SAGeCompressor", "SAGeConfig", "compress",
+    "ContainerError", "SAGeArchive", "DecompressionError",
+    "SAGeDecompressor", "decompress", "OutputFormat", "CATEGORIES",
+    "OptLevel", "SizeBreakdown", "AssociationTable", "TuningResult",
+    "bit_count_histogram", "tune", "tune_values",
+]

@@ -1,0 +1,164 @@
+"""Bit-granular stream I/O.
+
+SAGe's arrays and guide arrays are sequences of variable-width fields that
+hardware consumes as a bit stream with small shift registers (§5.2).  The
+software model mirrors that: :class:`BitWriter` packs MSB-first fields into
+bytes, :class:`BitReader` consumes them strictly sequentially — there is no
+random access, by construction, matching the streaming-access contract.
+"""
+
+from __future__ import annotations
+
+
+class BitIOError(ValueError):
+    """Raised on invalid bit-level reads or writes."""
+
+
+class BitWriter:
+    """Append-only MSB-first bit stream writer."""
+
+    def __init__(self) -> None:
+        self._bytes = bytearray()
+        self._acc = 0          # pending bits, MSB side filled first
+        self._nbits = 0        # number of pending bits in _acc
+        self._total_bits = 0
+
+    def __len__(self) -> int:
+        return self._total_bits
+
+    @property
+    def bit_length(self) -> int:
+        """Number of bits written so far."""
+        return self._total_bits
+
+    def write(self, value: int, nbits: int) -> None:
+        """Write ``value`` as an ``nbits``-wide big-endian field."""
+        if nbits < 0:
+            raise BitIOError("field width must be non-negative")
+        if nbits == 0:
+            return
+        if value < 0 or value >> nbits:
+            raise BitIOError(f"value {value} does not fit in {nbits} bits")
+        self._acc = (self._acc << nbits) | value
+        self._nbits += nbits
+        self._total_bits += nbits
+        while self._nbits >= 8:
+            self._nbits -= 8
+            self._bytes.append((self._acc >> self._nbits) & 0xFF)
+        self._acc &= (1 << self._nbits) - 1
+
+    def write_bit(self, bit: int) -> None:
+        """Write a single bit (0 or 1)."""
+        self.write(1 if bit else 0, 1)
+
+    def write_unary(self, value: int) -> None:
+        """Write ``value`` ones followed by a terminating zero.
+
+        This is the paper's guide-array prefix family: 0, 10, 110, 1110…
+        """
+        if value < 0:
+            raise BitIOError("unary value must be non-negative")
+        for _ in range(value):
+            self.write(1, 1)
+        self.write(0, 1)
+
+    def align_to_byte(self) -> None:
+        """Zero-pad forward to the next byte boundary."""
+        if self._nbits:
+            self.write(0, 8 - self._nbits)
+
+    def write_bytes(self, data: bytes) -> None:
+        """Write raw bytes (bit-aligned within the stream)."""
+        if self._nbits == 0:
+            self._bytes.extend(data)
+            self._total_bits += 8 * len(data)
+        else:
+            for byte in data:
+                self.write(byte, 8)
+
+    def extend(self, other: "BitWriter") -> None:
+        """Append another writer's bits to this stream."""
+        reader = BitReader(other.getvalue(), other.bit_length)
+        remaining = other.bit_length
+        while remaining >= 32:
+            self.write(reader.read(32), 32)
+            remaining -= 32
+        if remaining:
+            self.write(reader.read(remaining), remaining)
+
+    def getvalue(self) -> bytes:
+        """The stream contents, zero-padded to a byte boundary."""
+        out = bytearray(self._bytes)
+        if self._nbits:
+            out.append((self._acc << (8 - self._nbits)) & 0xFF)
+        return bytes(out)
+
+
+class BitReader:
+    """Strictly sequential MSB-first bit stream reader."""
+
+    def __init__(self, data: bytes, bit_length: int | None = None) -> None:
+        self._data = data
+        self._limit = 8 * len(data) if bit_length is None else bit_length
+        if self._limit > 8 * len(data):
+            raise BitIOError("bit_length exceeds the buffer")
+        self._pos = 0
+
+    @property
+    def position(self) -> int:
+        """Current bit offset from the start of the stream."""
+        return self._pos
+
+    @property
+    def remaining(self) -> int:
+        """Bits left before the end of the stream."""
+        return self._limit - self._pos
+
+    def read(self, nbits: int) -> int:
+        """Read an ``nbits``-wide big-endian field."""
+        if nbits < 0:
+            raise BitIOError("field width must be non-negative")
+        if nbits == 0:
+            return 0
+        if self._pos + nbits > self._limit:
+            raise BitIOError("read past end of bit stream")
+        value = 0
+        pos = self._pos
+        need = nbits
+        while need:
+            byte = self._data[pos >> 3]
+            offset = pos & 7
+            take = min(8 - offset, need)
+            chunk = (byte >> (8 - offset - take)) & ((1 << take) - 1)
+            value = (value << take) | chunk
+            pos += take
+            need -= take
+        self._pos = pos
+        return value
+
+    def read_bit(self) -> int:
+        """Read a single bit."""
+        return self.read(1)
+
+    def read_unary(self) -> int:
+        """Read a unary value: count of ones before the terminating zero."""
+        count = 0
+        while self.read(1):
+            count += 1
+        return count
+
+    def read_bytes(self, count: int) -> bytes:
+        """Read ``count`` raw bytes (fast path when byte-aligned)."""
+        if self._pos + 8 * count > self._limit:
+            raise BitIOError("read past end of bit stream")
+        if self._pos & 7 == 0:
+            start = self._pos >> 3
+            self._pos += 8 * count
+            return bytes(self._data[start:start + count])
+        return bytes(self.read(8) for _ in range(count))
+
+    def align_to_byte(self) -> None:
+        """Skip forward to the next byte boundary."""
+        rem = self._pos & 7
+        if rem:
+            self.read(8 - rem)

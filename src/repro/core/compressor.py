@@ -1,0 +1,556 @@
+"""SAGe compression (§5.1).
+
+Pipeline: map reads against the consensus → plan per-read encodings
+(oriented, clip-split, N-sanitized edit events) → tune bit-width classes
+per read set (Algorithm 1) → emit the array/guide-array streams.
+
+Every written bit is charged to a Fig. 17 category via
+:class:`~repro.core.mismatch.SizeBreakdown`, and all optimization levels
+NO/O1/O2/O3/O4 are supported so the ablation decodes losslessly too.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from ..genomics import sequence as seq
+from ..genomics.reads import Read, ReadSet
+from ..mapping.alignment import DEL, INS, SUB
+from ..mapping.mapper import MapperConfig, MappingResult, ReadMapper
+from . import headers as headers_codec
+from . import quality as quality_codec
+from .bitio import BitWriter
+from .container import STREAM_NAMES, SAGeArchive
+from .formats import pack_bits
+from .mismatch import (INDEL_DEL, INDEL_INS, TYPE_DEL, TYPE_INS, TYPE_SUB,
+                       OptLevel, SizeBreakdown)
+from .prefix_codes import AssociationTable
+from .tuning import DEFAULT_EPSILON, tune_values
+
+#: Indel-length encoding (§5.1.1): 1 guide bit for single-base blocks,
+#: otherwise a fixed 8-bit length field.  Blocks longer than 255 split.
+INDEL_LENGTH_BITS = 8
+MAX_INDEL_BLOCK = (1 << INDEL_LENGTH_BITS) - 1
+
+#: Fixed-width mismatch count used below optimization level O2.
+RAW_COUNT_BITS = 16
+
+
+@dataclass
+class SAGeConfig:
+    """Compression configuration."""
+
+    level: OptLevel = OptLevel.O4
+    with_quality: bool = True
+    quality_order1: bool = True
+    epsilon: float = DEFAULT_EPSILON
+    long_reads: bool | None = None    # None => auto (variable lengths)
+    mapper: MapperConfig | None = None
+    # Extensions beyond the paper's default configuration:
+    preserve_order: bool = False      # store the original read order
+    with_headers: bool = False        # store read headers (front-coded)
+    tuned_indel_lengths: bool = False  # Algorithm-1 classes for indel
+    #                                    lengths instead of the fixed
+    #                                    1-bit/8-bit scheme (§5.1.1 note)
+
+
+@dataclass
+class _Event:
+    """One mismatch entry, in core (clip-stripped, oriented) coordinates."""
+
+    kind: str                  # 'sub' | 'ins' | 'del'
+    pos: int                   # core read coordinate
+    length: int                # block length (1 for subs)
+    bases: np.ndarray          # sub base or inserted bases (sanitized)
+    marker: int                # consensus base under the event
+
+
+@dataclass
+class _ReadPlan:
+    """Everything needed to emit one mapped read."""
+
+    length: int                          # original (full) read length
+    reverse: bool
+    events: list[_Event]
+    first_cons: int                      # matching position (segment 0)
+    extra_segments: list[tuple[int, int]]  # (core_start, cons_start)
+    clip_start: np.ndarray
+    clip_end: np.ndarray
+    n_runs: list[tuple[int, int]]        # (oriented pos, run length)
+
+    @property
+    def is_corner(self) -> bool:
+        return bool(self.n_runs) or self.clip_start.size > 0 \
+            or self.clip_end.size > 0
+
+    @property
+    def core_length(self) -> int:
+        return self.length - int(self.clip_start.size) \
+            - int(self.clip_end.size)
+
+
+@dataclass
+class _UnmappedPlan:
+    codes: np.ndarray
+
+
+@dataclass
+class _EncodeState:
+    """Cross-read encoder state (delta bases, stream marks)."""
+
+    prev_cons: int = 0
+
+
+class CompressionError(ValueError):
+    """Raised when a read set cannot be compressed."""
+
+
+class SAGeCompressor:
+    """Compresses read sets against a consensus sequence."""
+
+    def __init__(self, consensus: np.ndarray,
+                 config: SAGeConfig | None = None):
+        self.consensus = np.asarray(consensus, dtype=np.uint8)
+        if self.consensus.size and self.consensus.max() >= 4:
+            raise CompressionError("consensus must be A/C/G/T only")
+        self.config = config or SAGeConfig()
+
+    # ------------------------------------------------------------------
+    # Public API
+    # ------------------------------------------------------------------
+
+    def compress(self, read_set: ReadSet) -> SAGeArchive:
+        """Compress a read set into a self-contained archive."""
+        cfg = self.config
+        level = cfg.level
+        long_reads = cfg.long_reads
+        if long_reads is None:
+            long_reads = not read_set.is_fixed_length
+        mapper = self._build_mapper(level, long_reads)
+
+        plans: list[tuple[int, _ReadPlan]] = []
+        unmapped: list[tuple[int, _UnmappedPlan]] = []
+        for idx, read in enumerate(read_set):
+            mapping = mapper.map_read(read.codes)
+            if mapping.unmapped:
+                unmapped.append((idx, _UnmappedPlan(read.codes)))
+            else:
+                plans.append((idx, self._plan_read(read, mapping)))
+
+        if level.reorder:
+            plans.sort(key=lambda item: (item[1].first_cons, item[0]))
+        permutation = [idx for idx, _ in plans] + [i for i, _ in unmapped]
+
+        archive = self._encode(read_set, [p for _, p in plans],
+                               [u for _, u in unmapped], permutation,
+                               level, long_reads)
+        return archive
+
+    # ------------------------------------------------------------------
+    # Mapping & planning
+    # ------------------------------------------------------------------
+
+    def _build_mapper(self, level: OptLevel, long_reads: bool) -> ReadMapper:
+        mapper_cfg = self.config.mapper or MapperConfig()
+        if not (level.chimeric and long_reads):
+            mapper_cfg.max_segments = 1
+        # Below O3 chimeric reads must stay mapped at their top position
+        # with many mismatches (Fig. 9), so the unmapped threshold loosens.
+        if not level.chimeric:
+            mapper_cfg.unmapped_cost_fraction = 0.80
+        if long_reads:
+            mapper_cfg.stride = max(mapper_cfg.stride, 4)
+        return ReadMapper(self.consensus, mapper_cfg)
+
+    def _plan_read(self, read: Read, mapping: MappingResult) -> _ReadPlan:
+        cons = self.consensus
+        oriented = (seq.reverse_complement(read.codes) if mapping.reverse
+                    else read.codes)
+        clip_s, clip_e = mapping.clip_start, mapping.clip_end
+        n_runs = _find_runs(oriented, seq.N_CODE)
+
+        events: list[_Event] = []
+        extra: list[tuple[int, int]] = []
+        segments = sorted(mapping.segments, key=lambda s: s.read_start)
+        for seg_idx, segment in enumerate(segments):
+            core_start = segment.read_start - int(clip_s.size)
+            if seg_idx:
+                extra.append((core_start, segment.cons_start))
+            shift = 0
+            for op in segment.ops:
+                cons_pos = segment.cons_start + op.read_pos + shift
+                marker = int(cons[cons_pos]) if cons_pos < cons.size else 0
+                pos = core_start + op.read_pos
+                if op.kind == SUB:
+                    base = int(op.bases[0])
+                    if base == seq.N_CODE:
+                        base = (marker + 1) % 4
+                    events.append(_Event(SUB, pos, 1,
+                                         np.array([base], dtype=np.uint8),
+                                         marker))
+                elif op.kind == INS:
+                    bases = op.bases.copy()
+                    bases[bases == seq.N_CODE] = 0
+                    for off in range(0, op.length, MAX_INDEL_BLOCK):
+                        chunk = bases[off:off + MAX_INDEL_BLOCK]
+                        events.append(_Event(INS, pos + off,
+                                             int(chunk.size), chunk, marker))
+                    shift -= op.length
+                else:  # DEL
+                    remaining = op.length
+                    local_shift = shift
+                    while remaining > 0:
+                        chunk = min(remaining, MAX_INDEL_BLOCK)
+                        cpos = segment.cons_start + op.read_pos + local_shift
+                        mark = int(cons[cpos]) if cpos < cons.size else 0
+                        events.append(_Event(
+                            DEL, pos, chunk,
+                            np.empty(0, dtype=np.uint8), mark))
+                        local_shift += chunk
+                        remaining -= chunk
+                    shift += op.length
+
+        return _ReadPlan(length=len(read), reverse=mapping.reverse,
+                         events=events,
+                         first_cons=segments[0].cons_start,
+                         extra_segments=extra, clip_start=clip_s,
+                         clip_end=clip_e, n_runs=n_runs)
+
+    # ------------------------------------------------------------------
+    # Encoding
+    # ------------------------------------------------------------------
+
+    def _encode(self, read_set: ReadSet, plans: list[_ReadPlan],
+                unmapped: list[_UnmappedPlan], permutation: list[int],
+                level: OptLevel, long_reads: bool) -> SAGeArchive:
+        cfg = self.config
+        fixed_length = read_set.is_fixed_length
+        fixed_len = len(read_set[0]) if (fixed_length and len(read_set)) \
+            else 0
+        max_len = int(max((len(r) for r in read_set), default=1))
+        w_rlen = max(1, int(max_len).bit_length())
+        w_cons = max(1, int(self.consensus.size).bit_length())
+        breakdown = SizeBreakdown()
+
+        expanded = [self._expand_events(p, level) for p in plans]
+
+        # ---- Algorithm 1 tuning over the read set's statistics ----
+        tables: dict[str, AssociationTable] = {}
+        if level.reorder:
+            deltas, prev = [], 0
+            for plan in plans:
+                deltas.append(plan.first_cons - prev)
+                prev = plan.first_cons
+            tables["mp"] = tune_values(deltas, cfg.epsilon).table \
+                if deltas else AssociationTable((w_cons,))
+        if level.tuned_mismatch:
+            counts, pos_values = [], []
+            for plan, events in zip(plans, expanded):
+                pseudo = 1 if (level.corner_marker and plan.is_corner) else 0
+                counts.append(len(events) + pseudo)
+                prev_pos = 0
+                if pseudo:
+                    pos_values.append(0)
+                for event in events:
+                    pos_values.append(event.pos - prev_pos)
+                    prev_pos = event.pos
+            tables["count"] = tune_values(counts, cfg.epsilon).table \
+                if counts else AssociationTable((1,))
+            tables["mmp"] = tune_values(pos_values, cfg.epsilon).table \
+                if pos_values else AssociationTable((1,))
+        if not fixed_length:
+            lengths = [p.length for p in plans]
+            tables["len"] = tune_values(lengths, cfg.epsilon).table \
+                if lengths else AssociationTable((w_rlen,))
+        if cfg.tuned_indel_lengths and level.indel_blocks:
+            block_lengths = [ev.length for events in expanded
+                             for ev in events if ev.kind != SUB]
+            tables["indel"] = tune_values(
+                block_lengths, cfg.epsilon).table \
+                if block_lengths else AssociationTable((1,))
+
+        # ---- stream writers ----
+        writers = {name: BitWriter() for name in STREAM_NAMES}
+
+        self._write_consensus(writers["consensus"], breakdown)
+        state = _EncodeState()
+        for plan, events in zip(plans, expanded):
+            self._write_read(plan, events, writers, tables, breakdown,
+                             level, long_reads, fixed_length, w_rlen,
+                             w_cons, state)
+        self._write_unmapped(unmapped, writers["unmapped"], breakdown,
+                             fixed_length, w_rlen)
+
+        if cfg.preserve_order and permutation:
+            w_reads = max(1, (len(read_set) - 1).bit_length())
+            order = writers["order"]
+            for original_index in permutation:
+                order.write(original_index, w_reads)
+            breakdown.charge("header", order.bit_length)
+
+        headers_blob = None
+        if cfg.with_headers and len(read_set):
+            headers_blob = headers_codec.compress_headers(
+                [read_set[i].header for i in permutation])
+            breakdown.charge("header", 8 * len(headers_blob))
+
+        quality_blob = None
+        if cfg.with_quality and read_set.has_quality and len(read_set):
+            scores = np.concatenate(
+                [read_set[i].quality for i in permutation])
+            quality_blob = quality_codec.compress(
+                scores, order1=cfg.quality_order1)
+            breakdown.charge("quality", 8 * quality_blob.byte_size)
+
+        streams = {name: (w.getvalue(), w.bit_length)
+                   for name, w in writers.items()}
+        archive = SAGeArchive(
+            level=level, long_reads=long_reads, fixed_length=fixed_length,
+            fixed_read_length=fixed_len, n_mapped=len(plans),
+            n_unmapped=len(unmapped), consensus_length=self.consensus.size,
+            w_rlen=w_rlen, w_cons=w_cons, tables=tables, streams=streams,
+            quality=quality_blob, breakdown=breakdown,
+            preserve_order=cfg.preserve_order, headers_blob=headers_blob,
+            permutation=np.array(permutation, dtype=np.int64),
+            name=read_set.name)
+        breakdown.charge("header", 8 * archive.header_bytes_estimate())
+        return archive
+
+    # -- helpers -------------------------------------------------------
+
+    def _expand_events(self, plan: _ReadPlan,
+                       level: OptLevel) -> list[_Event]:
+        """Below O2 indel blocks are stored one base at a time."""
+        if level.indel_blocks:
+            return plan.events
+        out: list[_Event] = []
+        for ev in plan.events:
+            if ev.kind == SUB or ev.length == 1:
+                out.append(ev)
+            elif ev.kind == INS:
+                for i in range(ev.length):
+                    out.append(_Event(INS, ev.pos + i, 1,
+                                      ev.bases[i:i + 1], ev.marker))
+            else:
+                for _ in range(ev.length):
+                    out.append(_Event(DEL, ev.pos, 1, ev.bases, ev.marker))
+        return out
+
+    def _write_consensus(self, writer: BitWriter,
+                         breakdown: SizeBreakdown) -> None:
+        payload = pack_bits(self.consensus, 2)
+        start = writer.bit_length
+        writer.write_bytes(payload)
+        breakdown.charge("consensus", writer.bit_length - start)
+
+    def _write_read(self, plan: _ReadPlan, events: list[_Event],
+                    writers: dict[str, BitWriter],
+                    tables: dict[str, AssociationTable],
+                    breakdown: SizeBreakdown, level: OptLevel,
+                    long_reads: bool, fixed_length: bool, w_rlen: int,
+                    w_cons: int, state: _EncodeState) -> None:
+        mpa, mpga = writers["mpa"], writers["mpga"]
+        mbta, side = writers["mbta"], writers["side"]
+        corner, lengths = writers["corner"], writers["lengths"]
+        mmpga = writers["mmpga"]
+
+        # Read length (long reads; Fig. 17 "Read Length").
+        if not fixed_length:
+            start = lengths.bit_length
+            tables["len"].encode(plan.length, lengths, lengths)
+            breakdown.charge("read_length", lengths.bit_length - start)
+
+        # Rev flag.
+        mbta.write_bit(plan.reverse)
+        breakdown.charge("rev", 1)
+
+        # Matching position (Fig. 17 "Matching Pos.").
+        start_mp = mpa.bit_length + mpga.bit_length + side.bit_length
+        if level.reorder:
+            delta = plan.first_cons - state.prev_cons
+            tables["mp"].encode(delta, mpga, mpa)
+            state.prev_cons = plan.first_cons
+        else:
+            mpa.write(plan.first_cons, w_cons)
+
+        # Chimeric side info (O3+, long reads only).
+        if level.chimeric and long_reads:
+            side.write_bit(1 if plan.extra_segments else 0)
+            if plan.extra_segments:
+                side.write(len(plan.extra_segments), 2)
+                for core_start, cons_start in plan.extra_segments:
+                    side.write(core_start, w_rlen)
+                    side.write(cons_start, w_cons)
+        breakdown.charge("matching_pos",
+                         mpa.bit_length + mpga.bit_length
+                         + side.bit_length - start_mp)
+
+        # Mismatch count (Fig. 17 "Mismatch Counts").
+        pseudo = 1 if (level.corner_marker and plan.is_corner) else 0
+        count = len(events) + pseudo
+        start = mmpga.bit_length
+        if level.tuned_mismatch:
+            tables["count"].encode(count, mmpga, mmpga)
+        else:
+            mmpga.write(count, RAW_COUNT_BITS)
+        breakdown.charge("mismatch_counts", mmpga.bit_length - start)
+
+        # Corner handling below O4: per-read indicator bits.
+        if not level.corner_marker:
+            corner.write_bit(bool(plan.n_runs))
+            corner.write_bit(plan.clip_start.size > 0
+                             or plan.clip_end.size > 0)
+            breakdown.charge("contains_n", 2)
+            if plan.is_corner:
+                self._write_corner_payload(plan, corner, breakdown, w_rlen)
+
+        # Mismatch entries.
+        prev_pos = 0
+        first_entry = True
+        if pseudo:
+            self._write_position(0, writers, tables, breakdown, level,
+                                 w_rlen)
+            mbta.write_bit(1)  # corner disambiguation: is a corner case
+            breakdown.charge("mismatch_types", 1)
+            self._write_corner_payload(plan, corner, breakdown, w_rlen)
+            first_entry = False
+        for event in events:
+            delta = event.pos - prev_pos
+            value = delta if level.tuned_mismatch else event.pos
+            self._write_position(value, writers, tables, breakdown, level,
+                                 w_rlen)
+            prev_pos = event.pos
+            if (level.corner_marker and first_entry and event.pos == 0):
+                mbta.write_bit(0)  # real mismatch at position 0
+                breakdown.charge("mismatch_types", 1)
+            first_entry = False
+            self._write_event_body(event, writers, tables, breakdown,
+                                   level)
+
+    def _write_position(self, value: int, writers: dict[str, BitWriter],
+                        tables: dict[str, AssociationTable],
+                        breakdown: SizeBreakdown, level: OptLevel,
+                        w_rlen: int) -> None:
+        mmpa, mmpga = writers["mmpa"], writers["mmpga"]
+        start = mmpa.bit_length + mmpga.bit_length
+        if level.tuned_mismatch:
+            tables["mmp"].encode(value, mmpga, mmpa)
+        else:
+            mmpa.write(value, w_rlen)
+        breakdown.charge("mismatch_pos",
+                         mmpa.bit_length + mmpga.bit_length - start)
+
+    def _write_event_body(self, event: _Event,
+                          writers: dict[str, BitWriter],
+                          tables: dict[str, AssociationTable],
+                          breakdown: SizeBreakdown,
+                          level: OptLevel) -> None:
+        mbta = writers["mbta"]
+        mmpa, mmpga = writers["mmpa"], writers["mmpga"]
+
+        if level.type_inference:
+            # Marker scheme (§5.1.2): base == consensus base <=> indel.
+            if event.kind == SUB:
+                mbta.write(int(event.bases[0]), 2)
+                breakdown.charge("mismatch_bases", 2)
+            else:
+                mbta.write(event.marker, 2)
+                mbta.write_bit(INDEL_INS if event.kind == INS
+                               else INDEL_DEL)
+                breakdown.charge("mismatch_bases", 2)
+                breakdown.charge("mismatch_types", 1)
+                self._write_indel_length(event, mmpa, mmpga, tables,
+                                         breakdown, level)
+                if event.kind == INS:
+                    for base in event.bases:
+                        mbta.write(int(base), 2)
+                    breakdown.charge("mismatch_bases", 2 * event.length)
+        else:
+            type_code = {SUB: TYPE_SUB, INS: TYPE_INS,
+                         DEL: TYPE_DEL}[event.kind]
+            mbta.write(type_code, 2)
+            breakdown.charge("mismatch_types", 2)
+            if event.kind == SUB:
+                mbta.write(int(event.bases[0]), 2)
+                breakdown.charge("mismatch_bases", 2)
+            else:
+                self._write_indel_length(event, mmpa, mmpga, tables,
+                                         breakdown, level)
+                if event.kind == INS:
+                    for base in event.bases:
+                        mbta.write(int(base), 2)
+                    breakdown.charge("mismatch_bases", 2 * event.length)
+
+    @staticmethod
+    def _write_indel_length(event: _Event, mmpa: BitWriter,
+                            mmpga: BitWriter,
+                            tables: dict[str, AssociationTable],
+                            breakdown: SizeBreakdown,
+                            level: OptLevel) -> None:
+        if not level.indel_blocks:
+            return
+        start = mmpa.bit_length + mmpga.bit_length
+        if "indel" in tables:
+            # Extension: Algorithm-1 classes for indel lengths, for read
+            # sets where longer indels are frequent (§5.1.1).
+            tables["indel"].encode(event.length, mmpga, mmpa)
+        else:
+            mmpga.write_bit(1 if event.length == 1 else 0)
+            if event.length != 1:
+                mmpa.write(event.length, INDEL_LENGTH_BITS)
+        breakdown.charge("mismatch_pos",
+                         mmpa.bit_length + mmpga.bit_length - start)
+
+    def _write_corner_payload(self, plan: _ReadPlan, corner: BitWriter,
+                              breakdown: SizeBreakdown,
+                              w_rlen: int) -> None:
+        start = corner.bit_length
+        corner.write_bit(bool(plan.n_runs))
+        corner.write_bit(plan.clip_start.size > 0
+                         or plan.clip_end.size > 0)
+        if plan.n_runs:
+            corner.write(len(plan.n_runs), 8)
+            for pos, run in plan.n_runs:
+                corner.write(pos, w_rlen)
+                corner.write(run, 8)
+        if plan.clip_start.size or plan.clip_end.size:
+            corner.write(int(plan.clip_start.size), w_rlen)
+            corner.write(int(plan.clip_end.size), w_rlen)
+            clip = np.concatenate([plan.clip_start, plan.clip_end])
+            corner.write_bytes(pack_bits(clip, 3))
+        breakdown.charge("contains_n", corner.bit_length - start)
+
+    def _write_unmapped(self, unmapped: list[_UnmappedPlan],
+                        writer: BitWriter, breakdown: SizeBreakdown,
+                        fixed_length: bool, w_rlen: int) -> None:
+        start = writer.bit_length
+        for plan in unmapped:
+            if not fixed_length:
+                writer.write(int(plan.codes.size), w_rlen)
+            writer.write_bytes(pack_bits(plan.codes, 3))
+        breakdown.charge("unmapped", writer.bit_length - start)
+
+
+def _find_runs(codes: np.ndarray, target: int) -> list[tuple[int, int]]:
+    """(start, length) runs of ``target`` in ``codes`` (length <= 255)."""
+    mask = codes == target
+    if not mask.any():
+        return []
+    padded = np.concatenate([[False], mask, [False]])
+    edges = np.diff(padded.astype(np.int8))
+    starts = np.nonzero(edges == 1)[0]
+    ends = np.nonzero(edges == -1)[0]
+    runs: list[tuple[int, int]] = []
+    for s, e in zip(starts, ends):
+        length = int(e - s)
+        for off in range(0, length, 255):
+            runs.append((int(s) + off, min(255, length - off)))
+    return runs
+
+
+def compress(read_set: ReadSet, consensus: np.ndarray,
+             config: SAGeConfig | None = None) -> SAGeArchive:
+    """One-shot convenience wrapper around :class:`SAGeCompressor`."""
+    return SAGeCompressor(consensus, config).compress(read_set)

@@ -1,0 +1,194 @@
+"""SAGe archive container.
+
+A compressed read set is a self-contained byte blob: header (flags, tuned
+Association Tables — the "Array Config. Parameters" loaded into the Scan
+Unit), followed by the consensus and the array streams.  Stream boundaries
+are byte-aligned and listed in a section table so the SSD data layout
+(§5.3) can stripe sections across channels.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from . import quality as quality_codec
+from .bitio import BitReader, BitWriter
+from .mismatch import OptLevel, SizeBreakdown
+from .prefix_codes import AssociationTable
+
+MAGIC = 0x53414745  # "SAGE"
+VERSION = 2
+
+#: Streams in serialization order.  ``consensus`` is the packed consensus;
+#: the rest are the arrays of §5.1 plus side/corner/unmapped payloads.
+STREAM_NAMES = ("consensus", "mpga", "mpa", "mmpga", "mmpa", "mbta",
+                "side", "corner", "unmapped", "lengths", "order")
+
+#: Table identifiers in serialization order.
+_TABLE_ORDER = ("mp", "count", "mmp", "len", "indel")
+
+
+class ContainerError(ValueError):
+    """Raised on malformed archives."""
+
+
+@dataclass
+class SAGeArchive:
+    """An in-memory SAGe-compressed read set."""
+
+    level: OptLevel
+    long_reads: bool
+    fixed_length: bool
+    fixed_read_length: int
+    n_mapped: int
+    n_unmapped: int
+    consensus_length: int
+    w_rlen: int
+    w_cons: int
+    tables: dict[str, AssociationTable]
+    streams: dict[str, tuple[bytes, int]]     # name -> (payload, bit length)
+    quality: quality_codec.QualityBlob | None = None
+    preserve_order: bool = False              # "order" stream present
+    headers_blob: bytes | None = None         # compressed read headers
+    # Metadata (not serialized):
+    breakdown: SizeBreakdown = field(default_factory=SizeBreakdown)
+    permutation: np.ndarray = field(
+        default_factory=lambda: np.empty(0, dtype=np.int64))
+    name: str = ""
+
+    # ------------------------------------------------------------------
+    # Sizes
+    # ------------------------------------------------------------------
+
+    @property
+    def n_reads(self) -> int:
+        return self.n_mapped + self.n_unmapped
+
+    def header_bytes_estimate(self) -> int:
+        """Serialized header size (computed exactly by serializing)."""
+        writer = BitWriter()
+        self._write_header(writer)
+        return len(writer.getvalue())
+
+    def dna_byte_size(self) -> int:
+        """Compressed size of the DNA payload (everything but quality)."""
+        header = self.header_bytes_estimate()
+        body = sum((bits + 7) // 8 for _, bits in self.streams.values())
+        table = 8 * len(self.streams)  # section table entries
+        return header + table + body
+
+    def byte_size(self) -> int:
+        """Total archive size including quality and header streams."""
+        total = self.dna_byte_size()
+        if self.quality is not None:
+            total += self.quality.byte_size + 8
+        if self.headers_blob is not None:
+            total += len(self.headers_blob) + 5
+        return total
+
+    def stream_bits(self, name: str) -> int:
+        return self.streams[name][1]
+
+    # ------------------------------------------------------------------
+    # Serialization
+    # ------------------------------------------------------------------
+
+    def _write_header(self, writer: BitWriter) -> None:
+        writer.write(MAGIC, 32)
+        writer.write(VERSION, 8)
+        writer.write(int(self.level), 4)
+        writer.write_bit(self.long_reads)
+        writer.write_bit(self.fixed_length)
+        writer.write_bit(self.quality is not None)
+        writer.write_bit(self.preserve_order)
+        writer.write_bit(self.headers_blob is not None)
+        writer.write(self.fixed_read_length, 32)
+        writer.write(self.n_mapped, 40)
+        writer.write(self.n_unmapped, 40)
+        writer.write(self.consensus_length, 40)
+        writer.write(self.w_rlen, 6)
+        writer.write(self.w_cons, 6)
+        for key in _TABLE_ORDER:
+            present = key in self.tables
+            writer.write_bit(present)
+            if present:
+                self.tables[key].serialize(writer)
+        writer.align_to_byte()
+
+    def to_bytes(self) -> bytes:
+        """Serialize the archive to a byte blob."""
+        writer = BitWriter()
+        self._write_header(writer)
+        for name in STREAM_NAMES:
+            payload, bits = self.streams[name]
+            writer.write(bits, 40)
+            writer.write(len(payload), 24)
+            writer.align_to_byte()
+            writer.write_bytes(payload)
+        if self.quality is not None:
+            writer.write(len(self.quality.payload), 40)
+            writer.write(self.quality.n_scores, 40)
+            writer.align_to_byte()
+            writer.write_bytes(self.quality.payload)
+        if self.headers_blob is not None:
+            writer.write(len(self.headers_blob), 40)
+            writer.align_to_byte()
+            writer.write_bytes(self.headers_blob)
+        return writer.getvalue()
+
+    @classmethod
+    def from_bytes(cls, blob: bytes) -> "SAGeArchive":
+        """Deserialize an archive previously written by :meth:`to_bytes`."""
+        reader = BitReader(blob)
+        if reader.read(32) != MAGIC:
+            raise ContainerError("bad magic; not a SAGe archive")
+        version = reader.read(8)
+        if version != VERSION:
+            raise ContainerError(f"unsupported version {version}")
+        level = OptLevel(reader.read(4))
+        long_reads = bool(reader.read_bit())
+        fixed_length = bool(reader.read_bit())
+        has_quality = bool(reader.read_bit())
+        preserve_order = bool(reader.read_bit())
+        has_headers = bool(reader.read_bit())
+        fixed_read_length = reader.read(32)
+        n_mapped = reader.read(40)
+        n_unmapped = reader.read(40)
+        consensus_length = reader.read(40)
+        w_rlen = reader.read(6)
+        w_cons = reader.read(6)
+        tables: dict[str, AssociationTable] = {}
+        for key in _TABLE_ORDER:
+            if reader.read_bit():
+                tables[key] = AssociationTable.deserialize(reader)
+        reader.align_to_byte()
+
+        streams: dict[str, tuple[bytes, int]] = {}
+        for name in STREAM_NAMES:
+            bits = reader.read(40)
+            nbytes = reader.read(24)
+            reader.align_to_byte()
+            streams[name] = (reader.read_bytes(nbytes), bits)
+
+        quality = None
+        if has_quality:
+            nbytes = reader.read(40)
+            n_scores = reader.read(40)
+            reader.align_to_byte()
+            quality = quality_codec.QualityBlob(reader.read_bytes(nbytes),
+                                                n_scores)
+        headers_blob = None
+        if has_headers:
+            nbytes = reader.read(40)
+            reader.align_to_byte()
+            headers_blob = reader.read_bytes(nbytes)
+        return cls(level=level, long_reads=long_reads,
+                   fixed_length=fixed_length,
+                   fixed_read_length=fixed_read_length, n_mapped=n_mapped,
+                   n_unmapped=n_unmapped, consensus_length=consensus_length,
+                   w_rlen=w_rlen, w_cons=w_cons, tables=tables,
+                   streams=streams, quality=quality,
+                   preserve_order=preserve_order,
+                   headers_blob=headers_blob)

@@ -1,0 +1,328 @@
+"""SAGe decompression — software reference model.
+
+Replays the Scan Unit / Read Construction Unit walk (§5.2) in software:
+guide arrays and position arrays are consumed strictly sequentially; each
+read is reconstructed by copying consensus bases and applying decoded
+mismatches; the substitution-vs-indel decision is made by comparing the
+decoded MBTA base with the consensus base under the cursor (§5.1.2), which
+is why entry decoding and reconstruction interleave — exactly as the SU
+and RCU operate concurrently in hardware.
+
+The hardware functional model (:mod:`repro.hardware.sage_units`) wraps
+this decoder with cycle/byte accounting and must produce identical output.
+"""
+
+from __future__ import annotations
+
+from typing import Iterator
+
+import numpy as np
+
+from ..genomics import sequence as seq
+from ..genomics.reads import Read, ReadSet
+from . import headers as headers_codec
+from . import quality as quality_codec
+from .bitio import BitReader
+from .compressor import INDEL_LENGTH_BITS, RAW_COUNT_BITS
+from .container import SAGeArchive
+from .formats import unpack_bits
+from .mismatch import INDEL_INS, TYPE_DEL, TYPE_INS, TYPE_SUB, OptLevel
+
+
+class DecompressionError(ValueError):
+    """Raised on malformed or inconsistent archives."""
+
+
+class SAGeDecompressor:
+    """Decodes a :class:`SAGeArchive` back into reads."""
+
+    def __init__(self, archive: SAGeArchive):
+        self.archive = archive
+        self.consensus = unpack_bits(archive.streams["consensus"][0], 2,
+                                     archive.consensus_length)
+
+    # ------------------------------------------------------------------
+    # Public API
+    # ------------------------------------------------------------------
+
+    def decompress(self) -> ReadSet:
+        """Decode every read (and quality scores, if present)."""
+        codes = list(self.iter_read_codes())
+        qualities: list[np.ndarray | None] = [None] * len(codes)
+        if self.archive.quality is not None:
+            scores = quality_codec.decompress(self.archive.quality)
+            offset = 0
+            for i, read_codes in enumerate(codes):
+                n = read_codes.size
+                qualities[i] = scores[offset:offset + n].astype(np.uint8)
+                offset += n
+            if offset != scores.size:
+                raise DecompressionError(
+                    f"quality stream has {scores.size} scores, reads "
+                    f"need {offset}")
+        name = self.archive.name or "sage"
+        if self.archive.headers_blob is not None:
+            header_list = headers_codec.decompress_headers(
+                self.archive.headers_blob)
+            if len(header_list) != len(codes):
+                raise DecompressionError(
+                    f"{len(header_list)} headers for {len(codes)} reads")
+        else:
+            header_list = [f"{name}.{i}" for i in range(len(codes))]
+        reads = [Read(codes=c, quality=q, header=h)
+                 for c, q, h in zip(codes, qualities, header_list)]
+        if self.archive.preserve_order:
+            reads = self._restore_order(reads)
+        return ReadSet(reads, name=name)
+
+    def _restore_order(self, reads: list[Read]) -> list[Read]:
+        """Invert the matching-position reordering (extension)."""
+        payload, bits = self.archive.streams["order"]
+        reader = BitReader(payload, bits)
+        n = len(reads)
+        w_reads = max(1, (n - 1).bit_length()) if n else 1
+        restored: list[Read | None] = [None] * n
+        for read in reads:
+            original = reader.read(w_reads)
+            restored[original] = read
+        if any(r is None for r in restored):
+            raise DecompressionError("order stream is not a permutation")
+        return restored
+
+    def make_readers(self) -> dict[str, BitReader]:
+        """Fresh sequential readers over the archive's streams."""
+        return {nm: BitReader(payload, bits)
+                for nm, (payload, bits) in self.archive.streams.items()}
+
+    def iter_read_codes(
+            self, readers: dict[str, BitReader] | None = None,
+    ) -> Iterator[np.ndarray]:
+        """Yield decoded base-code arrays in emission order.
+
+        ``readers`` lets callers (the hardware model) substitute
+        instrumented readers; they must wrap the same streams.
+        """
+        arch = self.archive
+        if readers is None:
+            readers = self.make_readers()
+        prev_cons = 0
+        for _ in range(arch.n_mapped):
+            codes, prev_cons = self._decode_mapped(readers, prev_cons)
+            yield codes
+        for _ in range(arch.n_unmapped):
+            yield self._decode_unmapped(readers["unmapped"])
+
+    # ------------------------------------------------------------------
+    # Mapped reads
+    # ------------------------------------------------------------------
+
+    def _cons_base(self, q: int) -> int:
+        """Consensus base under the cursor (0 past the end, both sides)."""
+        return int(self.consensus[q]) if q < self.consensus.size else 0
+
+    def _decode_mapped(self, readers: dict[str, BitReader],
+                       prev_cons: int) -> tuple[np.ndarray, int]:
+        arch = self.archive
+        level = arch.level
+        cons = self.consensus
+        mpa, mpga = readers["mpa"], readers["mpga"]
+        mmpa, mmpga = readers["mmpa"], readers["mmpga"]
+        mbta, side = readers["mbta"], readers["side"]
+        corner, lengths = readers["corner"], readers["lengths"]
+
+        # --- per-read header fields ---
+        if arch.fixed_length:
+            length = arch.fixed_read_length
+        else:
+            length = arch.tables["len"].decode(lengths, lengths)
+        reverse = bool(mbta.read_bit())
+        if level.reorder:
+            first_cons = prev_cons + arch.tables["mp"].decode(mpga, mpa)
+        else:
+            first_cons = mpa.read(arch.w_cons)
+        segments = [(0, first_cons)]
+        if level.chimeric and arch.long_reads:
+            if side.read_bit():
+                n_extra = side.read(2)
+                for _ in range(n_extra):
+                    core_start = side.read(arch.w_rlen)
+                    cons_start = side.read(arch.w_cons)
+                    segments.append((core_start, cons_start))
+        if level.tuned_mismatch:
+            count = arch.tables["count"].decode(mmpga, mmpga)
+        else:
+            count = mmpga.read(RAW_COUNT_BITS)
+
+        # --- corner-case info (must precede reconstruction) ---
+        n_runs: list[tuple[int, int]] = []
+        clip_s = clip_e = np.empty(0, dtype=np.uint8)
+        remaining = count
+        pending_pos: int | None = None
+        if not level.corner_marker:
+            has_n = bool(corner.read_bit())
+            has_clip = bool(corner.read_bit())
+            if has_n or has_clip:
+                n_runs, clip_s, clip_e = self._read_corner_payload(corner)
+        elif count > 0:
+            pos0 = self._decode_position(0, readers, level)
+            remaining -= 1
+            if pos0 == 0:
+                if mbta.read_bit():
+                    # Pseudo-mismatch: this read is a corner case.
+                    n_runs, clip_s, clip_e = \
+                        self._read_corner_payload(corner)
+                else:
+                    pending_pos = 0
+            else:
+                pending_pos = pos0
+
+        # --- reconstruction walk (the RCU loop) ---
+        core_len = length - int(clip_s.size) - int(clip_e.size)
+        out = np.empty(core_len, dtype=np.uint8)
+        bounds = [start for start, _ in segments[1:]] + [core_len]
+        seg_idx = 0
+        seg_end = bounds[0]
+        read_ptr = 0
+        q = segments[0][1]
+        prev_pos = 0
+
+        def advance(pos: int) -> None:
+            nonlocal read_ptr, q, seg_idx, seg_end
+            while pos >= seg_end and seg_idx < len(segments) - 1:
+                gap = seg_end - read_ptr
+                out[read_ptr:seg_end] = cons[q:q + gap]
+                q += gap
+                read_ptr = seg_end
+                seg_idx += 1
+                q = segments[seg_idx][1]
+                seg_end = bounds[seg_idx]
+            gap = pos - read_ptr
+            if gap:
+                out[read_ptr:pos] = cons[q:q + gap]
+                q += gap
+                read_ptr = pos
+
+        while remaining > 0 or pending_pos is not None:
+            if pending_pos is not None:
+                pos = pending_pos
+                pending_pos = None
+            else:
+                pos = self._decode_position(prev_pos, readers, level)
+                remaining -= 1
+            prev_pos = pos
+            advance(pos)
+            read_ptr, q = self._apply_entry(pos, out, read_ptr, q,
+                                            readers, level)
+
+        # Copy through any remaining segment tails.
+        while True:
+            gap = seg_end - read_ptr
+            out[read_ptr:seg_end] = cons[q:q + gap]
+            q += gap
+            read_ptr = seg_end
+            if seg_idx >= len(segments) - 1:
+                break
+            seg_idx += 1
+            q = segments[seg_idx][1]
+            seg_end = bounds[seg_idx]
+
+        oriented = np.concatenate([clip_s, out, clip_e]).astype(np.uint8)
+        for pos, run in n_runs:
+            oriented[pos:pos + run] = seq.N_CODE
+        if oriented.size != length:
+            raise DecompressionError(
+                f"decoded {oriented.size} bases, expected {length}")
+        codes = seq.reverse_complement(oriented) if reverse else oriented
+        return codes, first_cons
+
+    def _decode_position(self, prev_pos: int,
+                         readers: dict[str, BitReader],
+                         level: OptLevel) -> int:
+        if level.tuned_mismatch:
+            delta = self.archive.tables["mmp"].decode(readers["mmpga"],
+                                                      readers["mmpa"])
+            return prev_pos + delta
+        return readers["mmpa"].read(self.archive.w_rlen)
+
+    def _apply_entry(self, pos: int, out: np.ndarray, read_ptr: int,
+                     q: int, readers: dict[str, BitReader],
+                     level: OptLevel) -> tuple[int, int]:
+        """Decode one entry's body and apply it at the cursor."""
+        mbta = readers["mbta"]
+        mmpa, mmpga = readers["mmpa"], readers["mmpga"]
+
+        if level.type_inference:
+            base = mbta.read(2)
+            if base != self._cons_base(q):
+                out[pos] = base                     # substitution
+                return read_ptr + 1, q + 1
+            if mbta.read_bit() == INDEL_INS:
+                block = self._read_block_length(mmpa, mmpga, level)
+                for i in range(block):
+                    out[pos + i] = mbta.read(2)
+                return read_ptr + block, q
+            block = self._read_block_length(mmpa, mmpga, level)
+            return read_ptr, q + block              # deletion
+
+        type_code = mbta.read(2)
+        if type_code == TYPE_SUB:
+            out[pos] = mbta.read(2)
+            return read_ptr + 1, q + 1
+        if type_code == TYPE_INS:
+            block = self._read_block_length(mmpa, mmpga, level)
+            for i in range(block):
+                out[pos + i] = mbta.read(2)
+            return read_ptr + block, q
+        if type_code == TYPE_DEL:
+            block = self._read_block_length(mmpa, mmpga, level)
+            return read_ptr, q + block
+        raise DecompressionError(f"invalid mismatch type {type_code}")
+
+    def _read_block_length(self, mmpa: BitReader, mmpga: BitReader,
+                           level: OptLevel) -> int:
+        if not level.indel_blocks:
+            return 1
+        indel_table = self.archive.tables.get("indel")
+        if indel_table is not None:
+            return indel_table.decode(mmpga, mmpa)
+        if mmpga.read_bit():
+            return 1
+        return mmpa.read(INDEL_LENGTH_BITS)
+
+    # ------------------------------------------------------------------
+    # Corner payloads and unmapped reads
+    # ------------------------------------------------------------------
+
+    def _read_corner_payload(self, corner: BitReader):
+        has_n = bool(corner.read_bit())
+        has_clip = bool(corner.read_bit())
+        n_runs: list[tuple[int, int]] = []
+        clip_s = clip_e = np.empty(0, dtype=np.uint8)
+        if has_n:
+            n_count = corner.read(8)
+            for _ in range(n_count):
+                pos = corner.read(self.archive.w_rlen)
+                run = corner.read(8)
+                n_runs.append((pos, run))
+        if has_clip:
+            len_s = corner.read(self.archive.w_rlen)
+            len_e = corner.read(self.archive.w_rlen)
+            total = len_s + len_e
+            payload = corner.read_bytes((3 * total + 7) // 8)
+            clip = unpack_bits(payload, 3, total)
+            clip_s, clip_e = clip[:len_s], clip[len_s:]
+        return n_runs, clip_s, clip_e
+
+    def _decode_unmapped(self, reader: BitReader) -> np.ndarray:
+        arch = self.archive
+        if arch.fixed_length:
+            length = arch.fixed_read_length
+        else:
+            length = reader.read(arch.w_rlen)
+        payload = reader.read_bytes((3 * length + 7) // 8)
+        return unpack_bits(payload, 3, length)
+
+
+def decompress(archive: SAGeArchive) -> ReadSet:
+    """One-shot convenience wrapper around :class:`SAGeDecompressor`."""
+    return SAGeDecompressor(archive).decompress()

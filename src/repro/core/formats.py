@@ -1,0 +1,80 @@
+"""Output formats for decompressed reads (§5.4).
+
+``SAGe_Read`` lets the analysis system choose the output encoding so the
+accelerator receives data it can consume directly: ASCII text, 2-bit
+packed (A/C/G/T), 3-bit packed (with N), or one-hot vectors.
+"""
+
+from __future__ import annotations
+
+from enum import Enum
+
+import numpy as np
+
+from ..genomics import sequence as seq
+
+
+class OutputFormat(Enum):
+    """Formats supported by the Read Construction Unit's format encoder."""
+
+    ASCII = "ascii"
+    TWO_BIT = "2bit"
+    THREE_BIT = "3bit"
+    ONE_HOT = "onehot"
+
+
+class FormatError(ValueError):
+    """Raised when a sequence cannot be represented in a format."""
+
+
+def encode_output(codes: np.ndarray, fmt: OutputFormat):
+    """Encode base codes into the requested output format."""
+    codes = np.asarray(codes, dtype=np.uint8)
+    if fmt is OutputFormat.ASCII:
+        return seq.decode(codes)
+    if fmt is OutputFormat.TWO_BIT:
+        if (codes >= 4).any():
+            raise FormatError("2-bit format cannot represent N bases")
+        return pack_bits(codes, 2)
+    if fmt is OutputFormat.THREE_BIT:
+        return pack_bits(codes, 3)
+    if fmt is OutputFormat.ONE_HOT:
+        eye = np.eye(5, dtype=np.uint8)
+        return eye[codes]
+    raise FormatError(f"unknown format {fmt!r}")
+
+
+def decode_output(data, fmt: OutputFormat, length: int) -> np.ndarray:
+    """Invert :func:`encode_output` back to base codes."""
+    if fmt is OutputFormat.ASCII:
+        return seq.encode(data)
+    if fmt is OutputFormat.TWO_BIT:
+        return unpack_bits(data, 2, length)
+    if fmt is OutputFormat.THREE_BIT:
+        return unpack_bits(data, 3, length)
+    if fmt is OutputFormat.ONE_HOT:
+        return np.argmax(np.asarray(data), axis=1).astype(np.uint8)
+    raise FormatError(f"unknown format {fmt!r}")
+
+
+def bits_per_base(fmt: OutputFormat) -> float:
+    """Output width per base, used by the hardware throughput model."""
+    return {OutputFormat.ASCII: 8.0, OutputFormat.TWO_BIT: 2.0,
+            OutputFormat.THREE_BIT: 3.0, OutputFormat.ONE_HOT: 40.0}[fmt]
+
+
+def pack_bits(values: np.ndarray, width: int) -> bytes:
+    """Pack small unsigned ints into a dense MSB-first bit array."""
+    values = np.asarray(values, dtype=np.uint8)
+    if values.size and int(values.max()) >= (1 << width):
+        raise FormatError(f"value does not fit {width} bits")
+    bits = ((values[:, None] >> np.arange(width - 1, -1, -1)) & 1)
+    return np.packbits(bits.reshape(-1).astype(np.uint8)).tobytes()
+
+
+def unpack_bits(data: bytes, width: int, count: int) -> np.ndarray:
+    """Invert :func:`pack_bits` for ``count`` values."""
+    bits = np.unpackbits(np.frombuffer(data, dtype=np.uint8),
+                         count=width * count)
+    weights = (1 << np.arange(width - 1, -1, -1)).astype(np.uint8)
+    return (bits.reshape(-1, width) * weights).sum(axis=1).astype(np.uint8)

@@ -1,0 +1,121 @@
+"""Variable-length prefix codes and the Association Table (§5.1.1).
+
+SAGe's guide arrays tag each position-array entry with a *bit-width class*.
+Classes are identified by unary prefix codes — ``0``, ``10``, ``110``,
+``1110`` — with the shortest code assigned to the most frequent class.
+The small Association Table records, per class, the bit width of the
+corresponding array entries, and is stored in the compressed file header
+so the Scan Unit can load it into its configuration registers.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from .bitio import BitReader, BitWriter
+
+#: Maximum number of bit-width classes (paper: |W| converges at d < 8).
+MAX_CLASSES = 8
+
+#: Maximum representable field width in bits.
+MAX_WIDTH = 63
+
+
+@dataclass(frozen=True)
+class AssociationTable:
+    """Maps unary class codes to field bit widths, in frequency order.
+
+    ``widths[i]`` is the field width of the class whose unary code has
+    ``i`` leading ones (so ``widths[0]`` belongs to code ``0``, the most
+    frequent class).
+    """
+
+    widths: tuple[int, ...]
+
+    def __post_init__(self) -> None:
+        if not 1 <= len(self.widths) <= MAX_CLASSES:
+            raise ValueError(
+                f"need 1..{MAX_CLASSES} classes, got {len(self.widths)}")
+        for width in self.widths:
+            if not 0 <= width <= MAX_WIDTH:
+                raise ValueError(f"width {width} out of range")
+        if len(set(self.widths)) != len(self.widths):
+            raise ValueError("class widths must be distinct")
+
+    @classmethod
+    def from_histogram(cls, widths: list[int],
+                       counts: list[int]) -> "AssociationTable":
+        """Order classes so more frequent classes get shorter codes."""
+        if len(widths) != len(counts):
+            raise ValueError("widths and counts must align")
+        order = sorted(range(len(widths)),
+                       key=lambda i: (-counts[i], widths[i]))
+        return cls(tuple(widths[i] for i in order))
+
+    @property
+    def max_width(self) -> int:
+        """Largest field width among the classes."""
+        return max(self.widths)
+
+    def class_for_value(self, value: int) -> int:
+        """Cheapest class (unary length + width) able to hold ``value``."""
+        best = -1
+        best_cost = None
+        for idx, width in enumerate(self.widths):
+            if value < (1 << width):
+                cost = (idx + 1) + width
+                if best_cost is None or cost < best_cost:
+                    best, best_cost = idx, cost
+        if best < 0:
+            raise ValueError(
+                f"value {value} exceeds all class widths {self.widths}")
+        return best
+
+    def encoded_bits(self, value: int) -> int:
+        """Total bits (guide + array) this table spends on ``value``."""
+        idx = self.class_for_value(value)
+        return (idx + 1) + self.widths[idx]
+
+    # ------------------------------------------------------------------
+    # Value encode/decode: guide bits go to one stream, array bits to
+    # another, mirroring the separate MMPGA/MMPA arrays.
+    # ------------------------------------------------------------------
+
+    def encode(self, value: int, guide: BitWriter, array: BitWriter) -> None:
+        """Encode a value: unary class to ``guide``, field to ``array``."""
+        idx = self.class_for_value(value)
+        guide.write_unary(idx)
+        array.write(value, self.widths[idx])
+
+    def decode(self, guide: BitReader, array: BitReader) -> int:
+        """Decode one value from guide + array streams."""
+        idx = guide.read_unary()
+        if idx >= len(self.widths):
+            raise ValueError(f"guide stream names class {idx}, "
+                             f"but table has {len(self.widths)}")
+        return array.read(self.widths[idx])
+
+    # ------------------------------------------------------------------
+    # Header (de)serialization — the "Array Config. Parameters" the Scan
+    # Unit loads in 8-bit chunks (§5.2).
+    # ------------------------------------------------------------------
+
+    def serialize(self, writer: BitWriter) -> None:
+        """Write the table: 3-bit class count, then 6 bits per width."""
+        writer.write(len(self.widths) - 1, 3)
+        for width in self.widths:
+            writer.write(width, 6)
+
+    @classmethod
+    def deserialize(cls, reader: BitReader) -> "AssociationTable":
+        """Read a table previously written by :meth:`serialize`."""
+        count = reader.read(3) + 1
+        widths = tuple(reader.read(6) for _ in range(count))
+        return cls(widths)
+
+
+def unary_code_length(class_index: int) -> int:
+    """Length in bits of the unary code for a class index."""
+    if class_index < 0:
+        raise ValueError("class index must be non-negative")
+    return class_index + 1

@@ -1,0 +1,136 @@
+"""Quality-score compression (§5.1.5).
+
+Quality scores are compressed as a stream separate from the DNA bases, in
+the same (reordered) read order.  The paper uses Spring's lossless quality
+mode for both Spring and SAGe; our stand-in is a block-wise canonical
+Huffman coder with an optional order-1 context (previous score), which is
+the behaviour that matters for the evaluation: identical ratios for SAGe
+and the Spring analog, host-side decode off the critical path.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..baselines.huffman import HuffmanTable
+from .bitio import BitReader, BitWriter
+
+#: Quality block size in scores; the paper cites 25 MB blocks for real
+#: data — scaled down for the synthetic analogs.
+DEFAULT_BLOCK = 1 << 20
+
+#: Number of previous-score context buckets for the order-1 model.
+CONTEXT_BUCKETS = 4
+
+
+@dataclass
+class QualityBlob:
+    """Compressed quality stream."""
+
+    payload: bytes
+    n_scores: int
+
+    @property
+    def byte_size(self) -> int:
+        return len(self.payload)
+
+
+def _context_ids(scores: np.ndarray, max_score: int) -> np.ndarray:
+    """Order-1 context: bucket of the previous score (0 for the first)."""
+    bucket_width = max(1, (max_score + CONTEXT_BUCKETS) // CONTEXT_BUCKETS)
+    ctx = np.empty(scores.size, dtype=np.int64)
+    ctx[0] = 0
+    ctx[1:] = scores[:-1] // bucket_width
+    np.clip(ctx, 0, CONTEXT_BUCKETS - 1, out=ctx)
+    return ctx
+
+
+def compress(scores: np.ndarray, order1: bool = True,
+             block_size: int = DEFAULT_BLOCK) -> QualityBlob:
+    """Compress a concatenated quality-score array losslessly."""
+    scores = np.asarray(scores, dtype=np.int64)
+    writer = BitWriter()
+    writer.write(scores.size, 40)
+    writer.write(1 if order1 else 0, 1)
+    if scores.size == 0:
+        return QualityBlob(writer.getvalue(), 0)
+    max_score = int(scores.max())
+    writer.write(max_score, 8)
+    n_blocks = (scores.size + block_size - 1) // block_size
+    writer.write(block_size, 32)
+
+    for b in range(n_blocks):
+        block = scores[b * block_size:(b + 1) * block_size]
+        if order1:
+            ctx = _context_ids(block, max_score)
+            for c in range(CONTEXT_BUCKETS):
+                sub = block[ctx == c]
+                counts = np.bincount(sub, minlength=max_score + 1)
+                table = HuffmanTable.from_counts(counts)
+                table.serialize(writer)
+                payload, nbits = table.encode(sub)
+                writer.write(sub.size, 32)
+                writer.write(nbits, 40)
+                writer.align_to_byte()
+                writer.write_bytes(payload)
+        else:
+            counts = np.bincount(block, minlength=max_score + 1)
+            table = HuffmanTable.from_counts(counts)
+            table.serialize(writer)
+            payload, nbits = table.encode(block)
+            writer.write(block.size, 32)
+            writer.write(nbits, 40)
+            writer.align_to_byte()
+            writer.write_bytes(payload)
+    return QualityBlob(writer.getvalue(), int(scores.size))
+
+
+def decompress(blob: QualityBlob) -> np.ndarray:
+    """Recover the concatenated quality-score array."""
+    reader = BitReader(blob.payload)
+    n_scores = reader.read(40)
+    order1 = bool(reader.read(1))
+    if n_scores == 0:
+        return np.empty(0, dtype=np.uint8)
+    max_score = reader.read(8)
+    block_size = reader.read(32)
+    out = np.empty(n_scores, dtype=np.int64)
+    done = 0
+    while done < n_scores:
+        block_len = min(block_size, n_scores - done)
+        if order1:
+            parts = []
+            for _ in range(CONTEXT_BUCKETS):
+                table = HuffmanTable.deserialize(reader)
+                count = reader.read(32)
+                nbits = reader.read(40)
+                reader.align_to_byte()
+                payload = reader.read_bytes((nbits + 7) // 8)
+                parts.append(table.decode(payload, count))
+            block = _reassemble_order1(parts, block_len, max_score)
+        else:
+            table = HuffmanTable.deserialize(reader)
+            count = reader.read(32)
+            nbits = reader.read(40)
+            reader.align_to_byte()
+            payload = reader.read_bytes((nbits + 7) // 8)
+            block = table.decode(payload, count)
+        out[done:done + block_len] = block
+        done += block_len
+    return out.astype(np.uint8)
+
+
+def _reassemble_order1(parts: list[np.ndarray], block_len: int,
+                       max_score: int) -> np.ndarray:
+    """Invert the context split: scores must be replayed in order."""
+    bucket_width = max(1, (max_score + CONTEXT_BUCKETS) // CONTEXT_BUCKETS)
+    cursors = [0] * CONTEXT_BUCKETS
+    out = np.empty(block_len, dtype=np.int64)
+    ctx = 0
+    for i in range(block_len):
+        out[i] = parts[ctx][cursors[ctx]]
+        cursors[ctx] += 1
+        ctx = min(int(out[i]) // bucket_width, CONTEXT_BUCKETS - 1)
+    return out

@@ -1,0 +1,164 @@
+"""Algorithm 1 — tuning bit-count class boundaries per read set (§5.1.1).
+
+Given a histogram of required bit counts (how many bits each value in an
+array needs), choose up to ``MAX_CLASSES`` boundary widths ``W = (x_1 <
+x_2 < … < x_d)`` so that values needing ``b`` bits, ``x_{i-1} < b <= x_i``,
+are stored with ``x_i`` bits — minimizing total encoded size (array bits +
+guide bits + table overhead).  The search is the paper's exhaustive loop
+over ``d`` with an early-exit convergence threshold ``ε``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from itertools import combinations
+
+import numpy as np
+
+from .prefix_codes import MAX_CLASSES, AssociationTable
+
+#: Convergence threshold ε of Algorithm 1.
+DEFAULT_EPSILON = 0.01
+
+#: Serialized Association Table overhead in bits (3 + 6 per class).
+_TABLE_HEADER_BITS = 3
+_TABLE_ENTRY_BITS = 6
+
+
+def bit_count(value: int) -> int:
+    """Number of bits needed to store ``value`` (0 needs 1 bit)."""
+    if value < 0:
+        raise ValueError("values must be non-negative")
+    return max(1, int(value).bit_length())
+
+
+def bit_count_histogram(values: np.ndarray | list[int],
+                        max_bits: int = 32) -> np.ndarray:
+    """Histogram ``H[b]`` of how many values need exactly ``b`` bits.
+
+    Index 0 is unused (a value needs at least one bit); the histogram has
+    ``max_bits + 1`` entries.
+    """
+    values = np.asarray(values, dtype=np.int64)
+    hist = np.zeros(max_bits + 1, dtype=np.int64)
+    if values.size == 0:
+        return hist
+    if values.min() < 0:
+        raise ValueError("values must be non-negative")
+    bits = np.ones(values.shape, dtype=np.int64)
+    mask = values > 0
+    bits[mask] = np.floor(np.log2(values[mask])).astype(np.int64) + 1
+    if bits.max() > max_bits:
+        raise ValueError(
+            f"value needs {int(bits.max())} bits > max_bits={max_bits}")
+    np.add.at(hist, bits, 1)
+    return hist
+
+
+@dataclass(frozen=True)
+class TuningResult:
+    """Outcome of Algorithm 1 for one array."""
+
+    boundaries: tuple[int, ...]    # sorted class widths (x_1 < … < x_d)
+    encoded_bits: int              # estimated total size at these boundaries
+    table: AssociationTable        # frequency-ordered class table
+
+    @property
+    def n_classes(self) -> int:
+        return len(self.boundaries)
+
+
+def _encoded_size(hist: np.ndarray, boundaries: tuple[int, ...]) -> int:
+    """Total bits to encode the histogram's values at given boundaries.
+
+    Guide bits assume frequency-ranked unary codes: the class holding the
+    most values gets the 1-bit code, the next a 2-bit code, and so on.
+    """
+    counts = []
+    prev = 0
+    for bound in boundaries:
+        counts.append(int(hist[prev + 1:bound + 1].sum()))
+        prev = bound
+    data_bits = sum(c * w for c, w in zip(counts, boundaries))
+    guide_bits = sum(c * (rank + 1)
+                     for rank, c in enumerate(sorted(counts, reverse=True)))
+    table_bits = _TABLE_HEADER_BITS + _TABLE_ENTRY_BITS * len(boundaries)
+    return data_bits + guide_bits + table_bits
+
+
+def _class_counts(hist: np.ndarray,
+                  boundaries: tuple[int, ...]) -> list[int]:
+    counts = []
+    prev = 0
+    for bound in boundaries:
+        counts.append(int(hist[prev + 1:bound + 1].sum()))
+        prev = bound
+    return counts
+
+
+def tune(hist: np.ndarray, epsilon: float = DEFAULT_EPSILON,
+         max_classes: int = MAX_CLASSES) -> TuningResult:
+    """Run Algorithm 1 on a bit-count histogram.
+
+    Iterates class counts ``d = 1..max_classes``; for each ``d`` it
+    exhaustively evaluates boundary tuples drawn from the histogram's
+    support (every tuple must end at the maximum occupied bit count so
+    all values remain representable).  Exits early once adding a class
+    improves the best size by less than ``epsilon`` (relative).
+    """
+    hist = np.asarray(hist, dtype=np.int64)
+    support = [int(b) for b in np.nonzero(hist)[0] if b > 0]
+    if not support:
+        # Empty array: single 1-bit class keeps the decoder well-defined.
+        table = AssociationTable((1,))
+        return TuningResult((1,), _TABLE_HEADER_BITS + _TABLE_ENTRY_BITS,
+                            table)
+    max_bits = support[-1]
+
+    # Rare bins (well under 0.1%) cannot shift the optimum's shape but
+    # explode the combination space; fold them into the next bin up.
+    total = int(hist[support].sum())
+    if len(support) > 16:
+        keep = [b for b in support
+                if hist[b] >= max(1, total // 4096) or b == max_bits]
+        support = sorted(set(keep) | {max_bits})
+
+    best_size: int | None = None
+    best_bounds: tuple[int, ...] | None = None
+    last_best: int | None = None
+    interior = [b for b in support if b != max_bits]
+
+    for d in range(1, max_classes + 1):
+        level_best: int | None = None
+        for combo in combinations(interior, d - 1):
+            bounds = tuple(sorted(combo)) + (max_bits,)
+            size = _encoded_size(hist, bounds)
+            if level_best is None or size < level_best:
+                level_best = size
+            if best_size is None or size < best_size:
+                best_size, best_bounds = size, bounds
+        if last_best is not None and best_size is not None:
+            if (last_best - best_size) / max(best_size, 1) < epsilon:
+                break
+        last_best = best_size
+        if d - 1 >= len(interior):
+            break  # no more boundaries available
+
+    assert best_bounds is not None and best_size is not None
+    counts = _class_counts(hist, best_bounds)
+    table = AssociationTable.from_histogram(list(best_bounds), counts)
+    return TuningResult(best_bounds, best_size, table)
+
+
+def tune_values(values: np.ndarray | list[int],
+                epsilon: float = DEFAULT_EPSILON,
+                max_classes: int = MAX_CLASSES) -> TuningResult:
+    """Convenience wrapper: histogram then :func:`tune`."""
+    return tune(bit_count_histogram(values), epsilon=epsilon,
+                max_classes=max_classes)
+
+
+def tune_exhaustive(hist: np.ndarray,
+                    max_classes: int = MAX_CLASSES) -> TuningResult:
+    """Reference implementation without the ε early exit (for tests)."""
+    return tune(hist, epsilon=-1.0, max_classes=max_classes)

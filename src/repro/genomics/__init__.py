@@ -1,0 +1,16 @@
+"""Genomic data substrate: sequences, reads, FASTQ, simulation, datasets."""
+
+from . import datasets, fastq, reference, sequence, simulator
+from .reads import Read, ReadSet
+from .reference import DonorGenome, Variant, make_donor, make_reference
+from .simulator import (QualityModel, ReadSimulator, ReadTruth,
+                        SimulationProfile, SimulationResult,
+                        long_read_profile, short_read_profile)
+
+__all__ = [
+    "datasets", "fastq", "reference", "sequence", "simulator",
+    "Read", "ReadSet", "DonorGenome", "Variant", "make_donor",
+    "make_reference", "QualityModel", "ReadSimulator", "ReadTruth",
+    "SimulationProfile", "SimulationResult", "long_read_profile",
+    "short_read_profile",
+]

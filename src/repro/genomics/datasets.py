@@ -1,0 +1,144 @@
+"""Synthetic analogs of the paper's evaluated read sets RS1-RS5 (Table 2).
+
+The real datasets are multi-gigabyte SRA accessions; we generate scaled
+synthetic analogs whose compression-relevant knobs (read length, depth,
+error profile, variant density, chimera rate, quality-score alphabet) are
+tuned so the *relative* behaviour matches the paper: RS2 compresses best,
+RS4 worst, short sets are substitution-dominated, long sets indel- and
+chimera-heavy.  Paper-reported values ride along in
+:class:`DatasetSpec.paper` so benchmarks can print paper-vs-measured rows.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from .simulator import (QualityModel, ReadSimulator, SimulationProfile,
+                        SimulationResult, long_read_profile,
+                        short_read_profile)
+
+
+@dataclass(frozen=True)
+class PaperNumbers:
+    """Values reported for the real dataset in the paper (Table 2)."""
+
+    accession: str
+    uncompressed_mb: float
+    pigz_dna: float
+    pigz_qual: float
+    spring_dna: float
+    spring_qual: float
+    sage_dna: float
+    sage_qual: float
+
+
+@dataclass
+class DatasetSpec:
+    """Recipe for one synthetic read-set analog."""
+
+    label: str
+    kind: str                      # 'short' | 'long'
+    profile: SimulationProfile
+    depth: float                   # mean sequencing coverage
+    genome_scale: float            # genome length relative to base size
+    paper: PaperNumbers
+    isf_filter_fraction: float     # GenStore in-storage filter hit rate
+
+    def generate(self, base_genome: int = 50_000,
+                 seed: int = 0) -> SimulationResult:
+        """Materialize the analog at a given scale, deterministically."""
+        rng = np.random.default_rng(seed + _STABLE_SEEDS[self.label])
+        genome_len = int(base_genome * self.genome_scale)
+        mean_len = self.profile.read_length
+        n_reads = max(1, int(self.depth * genome_len / mean_len))
+        sim = ReadSimulator(self.profile, rng)
+        return sim.simulate(genome_len, n_reads, name=self.label)
+
+
+_STABLE_SEEDS = {"RS1": 101, "RS2": 102, "RS3": 103, "RS4": 104, "RS5": 105}
+
+
+def _rs1() -> DatasetSpec:
+    # SRR870667_2: Theobroma cacao short reads; moderate compressibility.
+    profile = short_read_profile(
+        read_length=100, sub_rate=0.002, snp_rate=0.002,
+        quality=QualityModel.illumina_legacy())
+    return DatasetSpec(
+        label="RS1", kind="short", profile=profile, depth=7.0,
+        genome_scale=1.0,
+        paper=PaperNumbers("SRR870667_2", 10_000, 3.39, 2.23,
+                           24.8, 2.80, 22.8, 2.80),
+        isf_filter_fraction=0.55)
+
+
+def _rs2() -> DatasetSpec:
+    # ERR194146_1: deep human short reads; best-case compressibility.
+    profile = short_read_profile(
+        read_length=100, sub_rate=0.0008, snp_rate=0.001,
+        quality=QualityModel.illumina_binned())
+    return DatasetSpec(
+        label="RS2", kind="short", profile=profile, depth=14.0,
+        genome_scale=1.6,
+        paper=PaperNumbers("ERR194146_1", 158_000, 12.5, 2.49,
+                           40.2, 3.4, 36.8, 3.4),
+        isf_filter_fraction=0.80)
+
+
+def _rs3() -> DatasetSpec:
+    # SRR2052419_1: shallow human short reads; consensus overhead bites.
+    profile = short_read_profile(
+        read_length=100, sub_rate=0.003, snp_rate=0.0025,
+        quality=QualityModel.illumina_binned())
+    return DatasetSpec(
+        label="RS3", kind="short", profile=profile, depth=1.8,
+        genome_scale=1.0,
+        paper=PaperNumbers("SRR2052419_1", 8_000, 3.41, 3.45,
+                           7.2, 5.07, 7.1, 5.07),
+        isf_filter_fraction=0.55)
+
+
+def _rs4() -> DatasetSpec:
+    # PAO89685_sampled: human ONT long reads; error- and chimera-heavy.
+    profile = long_read_profile(
+        read_length=2500, sub_rate=0.016, ins_rate=0.010, del_rate=0.010,
+        chimera_rate=0.12, snp_rate=0.001)
+    return DatasetSpec(
+        label="RS4", kind="long", profile=profile, depth=4.5,
+        genome_scale=1.2,
+        paper=PaperNumbers("PAO89685_sampled", 24_000, 3.93, 1.79,
+                           4.8, 2.19, 4.5, 2.19),
+        isf_filter_fraction=0.05)
+
+
+def _rs5() -> DatasetSpec:
+    # ERR5455028: banana nanopore long reads; cleaner long-read chemistry.
+    profile = long_read_profile(
+        read_length=3000, sub_rate=0.008, ins_rate=0.005, del_rate=0.005,
+        chimera_rate=0.08, snp_rate=0.0015)
+    return DatasetSpec(
+        label="RS5", kind="long", profile=profile, depth=6.0,
+        genome_scale=1.5,
+        paper=PaperNumbers("ERR5455028", 176_800, 3.5, 1.57,
+                           7.6, 1.82, 7.8, 1.82),
+        isf_filter_fraction=0.45)
+
+
+def dataset_specs() -> dict[str, DatasetSpec]:
+    """All five analog specs, keyed by label."""
+    return {s.label: s for s in (_rs1(), _rs2(), _rs3(), _rs4(), _rs5())}
+
+
+def get_spec(label: str) -> DatasetSpec:
+    """Look up one spec by label (``'RS1'`` .. ``'RS5'``)."""
+    specs = dataset_specs()
+    if label not in specs:
+        raise KeyError(f"unknown dataset {label!r}; have {sorted(specs)}")
+    return specs[label]
+
+
+def generate(label: str, base_genome: int = 50_000,
+             seed: int = 0) -> SimulationResult:
+    """Generate one analog read set by label."""
+    return get_spec(label).generate(base_genome=base_genome, seed=seed)

@@ -1,0 +1,79 @@
+"""FASTQ reading and writing.
+
+FASTQ is the paper's input format (§2.1): four lines per read — ``@header``,
+bases, ``+``, Phred+33 quality string.  The writer emits exactly that; the
+parser is tolerant of a repeated header on the ``+`` line and of missing
+trailing newlines.
+"""
+
+from __future__ import annotations
+
+import io
+from pathlib import Path
+from typing import Iterator, TextIO
+
+from .reads import Read, ReadSet
+
+
+class FastqError(ValueError):
+    """Raised on malformed FASTQ input."""
+
+
+def parse_stream(stream: TextIO) -> Iterator[Read]:
+    """Yield reads from an open FASTQ text stream."""
+    while True:
+        header = stream.readline()
+        if not header:
+            return
+        header = header.rstrip("\n")
+        if not header:
+            continue
+        if not header.startswith("@"):
+            raise FastqError(f"expected '@' header line, got {header[:20]!r}")
+        bases = stream.readline().rstrip("\n")
+        plus = stream.readline().rstrip("\n")
+        quality = stream.readline().rstrip("\n")
+        if not plus.startswith("+"):
+            raise FastqError(f"expected '+' separator, got {plus[:20]!r}")
+        if len(quality) != len(bases):
+            raise FastqError(
+                f"quality length {len(quality)} != sequence length "
+                f"{len(bases)} for read {header[1:]!r}")
+        yield Read.from_text(bases, quality or None, header=header[1:])
+
+
+def parse(text: str) -> ReadSet:
+    """Parse a FASTQ string into a :class:`ReadSet`."""
+    return ReadSet(list(parse_stream(io.StringIO(text))))
+
+
+def read_file(path: str | Path) -> ReadSet:
+    """Read a FASTQ file from disk."""
+    with open(path, "r", encoding="ascii") as handle:
+        reads = list(parse_stream(handle))
+    return ReadSet(reads, name=Path(path).stem)
+
+
+def format_read(read: Read, index: int = 0) -> str:
+    """Render one read as a FASTQ record."""
+    header = read.header or f"read{index}"
+    if read.quality is not None:
+        qual = read.quality_text
+    else:
+        # Placeholder qualities for quality-less reads, as accurate
+        # sequencers that skip quality reporting do (§5.1).
+        qual = "I" * len(read)
+    return f"@{header}\n{read.text}\n+\n{qual}\n"
+
+
+def write(read_set: ReadSet) -> str:
+    """Render a read set as FASTQ text."""
+    parts = [format_read(r, i) for i, r in enumerate(read_set)]
+    return "".join(parts)
+
+
+def write_file(read_set: ReadSet, path: str | Path) -> None:
+    """Write a read set to a FASTQ file."""
+    with open(path, "w", encoding="ascii") as handle:
+        for i, read in enumerate(read_set):
+            handle.write(format_read(read, i))

@@ -1,0 +1,20 @@
+"""Hardware substrate: SSD/FTL, DRAM, interconnects, SAGe units, energy."""
+
+from . import area_power, device, dram, energy, interconnect, sage_units, ssd
+from .dram import HOST_DDR4, SSD_INTERNAL_DRAM, DRAMModel
+from .energy import EnergyLedger, PowerSpec
+from .interconnect import CXL2_X8, ON_CHIP, PCIE_GEN3_X4, PCIE_GEN4_X8, SATA3, Link
+from .sage_units import (HardwareRunStats, HardwareThroughput,
+                         SAGeHardwareModel)
+from .device import DeviceError, ReadCommandResult, SAGeDevice
+from .ssd import FTLError, NANDConfig, SAGeFTL, SSDModel, pcie_ssd, sata_ssd
+
+__all__ = [
+    "area_power", "device", "dram", "energy", "interconnect",
+    "sage_units", "ssd", "DeviceError", "ReadCommandResult", "SAGeDevice",
+    "HOST_DDR4", "SSD_INTERNAL_DRAM", "DRAMModel", "EnergyLedger",
+    "PowerSpec", "CXL2_X8", "ON_CHIP", "PCIE_GEN3_X4", "PCIE_GEN4_X8",
+    "SATA3", "Link", "HardwareRunStats", "HardwareThroughput",
+    "SAGeHardwareModel", "FTLError", "NANDConfig", "SAGeFTL", "SSDModel",
+    "pcie_ssd", "sata_ssd",
+]

@@ -1,0 +1,90 @@
+"""Area and power of SAGe's logic units — Table 1 of the paper.
+
+Values are the paper's Design Compiler synthesis results at 22 nm, 1 GHz.
+The area total for an 8-channel SSD (0.002 mm²) includes the double
+registers used by integration mode 3; the 0.49 mW power total excludes
+them (they are the separate "+0.28 mW for mode 3" line).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+
+@dataclass(frozen=True)
+class LogicUnit:
+    """One synthesized unit instance (per SSD channel)."""
+
+    name: str
+    instances_per_channel: int
+    area_mm2: float
+    power_mw: float
+    mode3_only: bool = False
+
+
+#: Table 1 rows (22 nm node, 1 GHz).
+SCAN_UNIT = LogicUnit("Scan Unit", 1, 0.000045, 0.014)
+READ_CONSTRUCTION_UNIT = LogicUnit("Read Construction Unit", 1,
+                                   0.000017, 0.023)
+DOUBLE_REGISTERS = LogicUnit("Double Registers", 1, 0.00020, 0.035,
+                             mode3_only=True)
+CONTROL_UNIT = LogicUnit("Control Unit", 1, 0.000029, 0.025)
+
+ALL_UNITS = (SCAN_UNIT, READ_CONSTRUCTION_UNIT, DOUBLE_REGISTERS,
+             CONTROL_UNIT)
+
+#: Default channel count of the evaluated SSD.
+DEFAULT_CHANNELS = 8
+
+#: Synthesis clock (§8.2: units run at 1 GHz; NAND throughput bounds them).
+CLOCK_HZ = 1_000_000_000
+
+#: Area of one SSD-controller core (Cortex-R4 class, 22 nm-scaled): the
+#: paper reports SAGe at "0.7% of the three cores [169] in an SSD
+#: controller [170]", which puts three cores at ~0.33 mm².
+SSD_CORE_AREA_MM2 = 0.111
+SSD_CORE_COUNT = 3
+
+#: FPGA utilization of SAGe's logic (§6): fraction of a KU15P's resources.
+FPGA_LUT_FRACTION = 0.025
+FPGA_FF_FRACTION = 0.008
+
+
+def total_area_mm2(channels: int = DEFAULT_CHANNELS,
+                   include_mode3: bool = True) -> float:
+    """Total logic area for an SSD with ``channels`` channels."""
+    return sum(u.area_mm2 * u.instances_per_channel * channels
+               for u in ALL_UNITS
+               if include_mode3 or not u.mode3_only)
+
+
+def total_power_mw(channels: int = DEFAULT_CHANNELS,
+                   include_mode3: bool = False) -> float:
+    """Total logic power; mode-3 double registers add 0.28 mW at 8ch."""
+    return sum(u.power_mw * u.instances_per_channel * channels
+               for u in ALL_UNITS
+               if include_mode3 or not u.mode3_only)
+
+
+def area_fraction_of_ssd_cores(channels: int = DEFAULT_CHANNELS) -> float:
+    """SAGe area as a fraction of the SSD controller's three cores."""
+    return total_area_mm2(channels) / (SSD_CORE_AREA_MM2 * SSD_CORE_COUNT)
+
+
+def table1_rows(channels: int = DEFAULT_CHANNELS) -> list[dict]:
+    """Table 1, row by row, for the benchmark harness to print."""
+    rows = [{
+        "unit": u.name,
+        "instances": f"{u.instances_per_channel} per channel",
+        "area_mm2": u.area_mm2,
+        "power_mw": u.power_mw,
+    } for u in ALL_UNITS]
+    rows.append({
+        "unit": f"Total for an {channels}-channel SSD",
+        "instances": "-",
+        "area_mm2": total_area_mm2(channels),
+        "power_mw": total_power_mw(channels),
+        "power_mw_mode3_extra":
+            total_power_mw(channels, True) - total_power_mw(channels),
+    })
+    return rows

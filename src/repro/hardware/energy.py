@@ -1,0 +1,67 @@
+"""End-to-end energy accounting (§7 "Area, Power, and Energy").
+
+Each system component has idle and active power; a component's energy is
+``active_power × busy_time + idle_power × (makespan − busy_time)`` plus
+explicit per-byte transfer energies for interconnect hops.  The pipeline
+simulator fills a ledger per configuration; Fig. 16 is a ratio of ledger
+totals.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+
+@dataclass(frozen=True)
+class PowerSpec:
+    """Idle/active power of one component."""
+
+    name: str
+    active_w: float
+    idle_w: float
+
+
+#: Host CPU: EPYC-7742 class (225 W TDP, measured idle ~90 W).
+HOST_CPU = PowerSpec("host-cpu", 225.0, 90.0)
+
+#: Host DRAM: 8 channels, a few watts background plus access power.
+HOST_DRAM = PowerSpec("host-dram", 40.0, 24.0)
+
+#: Analysis accelerator (GEM class ASIC board).
+ANALYSIS_ACC = PowerSpec("analysis-acc", 25.0, 4.0)
+
+#: SAGe decompression logic (Table 1: sub-milliwatt; board overhead nil
+#: because it is integrated into an existing chip).
+SAGE_LOGIC = PowerSpec("sage-logic", 0.00049, 0.0001)
+
+#: Idealized BWT accelerator attached to (N)SprAC (die + board).
+BWT_ACC = PowerSpec("bwt-acc", 18.0, 3.0)
+
+
+@dataclass
+class EnergyLedger:
+    """Accumulates per-component energy over a simulated execution."""
+
+    makespan_s: float = 0.0
+    joules: dict[str, float] = field(default_factory=dict)
+
+    def charge_component(self, spec: PowerSpec, busy_s: float,
+                         makespan_s: float | None = None) -> None:
+        """Busy at active power, idle at idle power for the remainder."""
+        span = self.makespan_s if makespan_s is None else makespan_s
+        busy_s = min(busy_s, span)
+        energy = spec.active_w * busy_s + spec.idle_w * (span - busy_s)
+        self.joules[spec.name] = self.joules.get(spec.name, 0.0) + energy
+
+    def charge_fixed(self, name: str, joules: float) -> None:
+        """Direct energy charge (e.g., link transfer energy)."""
+        self.joules[name] = self.joules.get(name, 0.0) + joules
+
+    @property
+    def total_joules(self) -> float:
+        return sum(self.joules.values())
+
+    def breakdown(self) -> dict[str, float]:
+        """Per-component fractions of total energy."""
+        total = max(self.total_joules, 1e-12)
+        return {name: j / total for name, j in sorted(self.joules.items())}

@@ -1,0 +1,176 @@
+"""Functional + cycle model of SAGe's decompression hardware (§5.2).
+
+Three units per SSD channel: the Scan Unit (SU) walks the position and
+guide arrays through 8-bit shift registers; the Read Construction Unit
+(RCU) walks the consensus and MBTA, emitting one reconstructed base per
+cycle through a 150-bp chunk register; the Control Unit (CU) coordinates
+them.  The functional behaviour *is* the software reference decoder —
+this model wraps it with instrumented readers and derives cycle counts,
+so output equivalence with :class:`~repro.core.SAGeDecompressor` holds by
+construction and is asserted in tests.
+
+Throughput math (§8.2): the units run at 1 GHz and are deliberately
+faster than NAND streaming, so end-to-end decompression is bounded by
+flash bandwidth; both rates are reported so the pipeline can take the min.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from ..core.bitio import BitReader
+from ..core.container import SAGeArchive
+from ..core.decompressor import SAGeDecompressor
+from ..core.formats import OutputFormat, bits_per_base
+from ..genomics.reads import ReadSet
+from . import area_power
+from .ssd import SSDModel
+
+#: SU consumes up to one 8-bit register refill per cycle per stream.
+SU_BITS_PER_CYCLE = 8
+
+#: RCU read register size (base pairs); longer reads go in chunks (§5.2).
+#: Consensus copies move through the register a chunk per cycle, which is
+#: what makes the units faster than NAND streaming (§8.2).
+READ_REGISTER_BP = 150
+
+#: CU hand-off overhead per read (cycles).
+CU_CYCLES_PER_READ = 2
+
+#: Streams scanned by the SU vs consumed by the RCU.
+SU_STREAMS = ("mpga", "mpa", "mmpga", "mmpa", "lengths", "side")
+RCU_STREAMS = ("mbta", "consensus", "corner", "unmapped")
+
+
+class _CountingReader(BitReader):
+    """BitReader that tallies every bit consumed."""
+
+    def __init__(self, payload: bytes, bits: int):
+        super().__init__(payload, bits)
+        self.bits_consumed = 0
+
+    def read(self, nbits: int) -> int:
+        value = super().read(nbits)
+        self.bits_consumed += nbits
+        return value
+
+
+@dataclass
+class HardwareRunStats:
+    """Byte/cycle accounting from one decompression run."""
+
+    stream_bits: dict[str, int] = field(default_factory=dict)
+    output_bases: int = 0
+    n_reads: int = 0
+    su_cycles: int = 0
+    rcu_cycles: int = 0
+    total_cycles: int = 0
+
+    @property
+    def compressed_bits(self) -> int:
+        return sum(self.stream_bits.values())
+
+
+@dataclass
+class HardwareThroughput:
+    """Decompression rates for one configuration."""
+
+    unit_bases_per_s: float        # what the SU/RCU array can sustain
+    nand_bases_per_s: float        # what flash streaming can feed
+    output_format: OutputFormat
+
+    @property
+    def effective_bases_per_s(self) -> float:
+        return min(self.unit_bases_per_s, self.nand_bases_per_s)
+
+    @property
+    def effective_output_bytes_per_s(self) -> float:
+        return self.effective_bases_per_s \
+            * bits_per_base(self.output_format) / 8.0
+
+
+class SAGeHardwareModel:
+    """Per-channel SU/RCU/CU array attached to an SSD."""
+
+    def __init__(self, ssd: SSDModel, channels: int | None = None,
+                 clock_hz: float = area_power.CLOCK_HZ):
+        self.ssd = ssd
+        self.channels = channels if channels is not None else ssd.channels
+        self.clock_hz = clock_hz
+
+    # ------------------------------------------------------------------
+    # Functional run with accounting
+    # ------------------------------------------------------------------
+
+    def run(self, archive: SAGeArchive) -> tuple[ReadSet, HardwareRunStats]:
+        """Decode an archive, returning reads + cycle/byte accounting."""
+        decoder = SAGeDecompressor(archive)
+        readers = {name: _CountingReader(payload, bits)
+                   for name, (payload, bits) in archive.streams.items()}
+        codes = list(decoder.iter_read_codes(readers))
+        stats = HardwareRunStats(n_reads=len(codes))
+        stats.stream_bits = {name: reader.bits_consumed
+                             for name, reader in readers.items()}
+        # The RCU streams the consensus exactly once: reads are sorted by
+        # matching position (§5.1.3), so consensus access is sequential.
+        stats.stream_bits["consensus"] = archive.streams["consensus"][1]
+        # The RCU walks the consensus (2 bits per copied base) as it
+        # reconstructs; charge the full output for the register traffic.
+        stats.output_bases = int(sum(c.size for c in codes))
+        su_bits = sum(stats.stream_bits.get(s, 0) for s in SU_STREAMS)
+        rcu_stream_bits = sum(stats.stream_bits.get(s, 0)
+                              for s in RCU_STREAMS)
+        stats.su_cycles = -(-su_bits // SU_BITS_PER_CYCLE)
+        # RCU: scan MBTA/corner through an 8-bit register, emit bases in
+        # 150-bp chunk copies (mismatch patches ride on the scan cost).
+        rcu_scan = -(-rcu_stream_bits // SU_BITS_PER_CYCLE)
+        rcu_emit = -(-stats.output_bases // READ_REGISTER_BP)
+        stats.rcu_cycles = rcu_scan + rcu_emit
+        stats.total_cycles = (max(stats.su_cycles, stats.rcu_cycles)
+                              + CU_CYCLES_PER_READ * stats.n_reads)
+        quality = archive.quality
+        reads = decoder.decompress() if quality is not None else None
+        if reads is None:
+            from ..genomics.reads import Read
+            reads = ReadSet([Read(c, header=f"hw.{i}")
+                             for i, c in enumerate(codes)],
+                            name=archive.name)
+        return reads, stats
+
+    # ------------------------------------------------------------------
+    # Rate model
+    # ------------------------------------------------------------------
+
+    def throughput(self, archive: SAGeArchive,
+                   stats: HardwareRunStats | None = None,
+                   fmt: OutputFormat = OutputFormat.ASCII,
+                   internal: bool = True) -> HardwareThroughput:
+        """Sustained decompression rate for this archive's statistics.
+
+        ``internal=True`` models NDP placement (mode 3): flash feeds the
+        units at internal bandwidth.  ``internal=False`` models modes 1/2
+        where compressed data crosses the external link first.
+        """
+        if stats is None:
+            _, stats = self.run(archive)
+        cycles_per_base = max(stats.total_cycles, 1) \
+            / max(stats.output_bases, 1)
+        per_channel = self.clock_hz / cycles_per_base
+        unit_rate = per_channel * self.channels
+
+        nand_bw = (self.ssd.internal_read_bandwidth if internal
+                   else self.ssd.external_read_bandwidth)
+        compressed_bytes = max(1, stats.compressed_bits // 8)
+        bases_per_compressed_byte = stats.output_bases / compressed_bytes
+        nand_rate = nand_bw * bases_per_compressed_byte
+        return HardwareThroughput(unit_bases_per_s=unit_rate,
+                                  nand_bases_per_s=nand_rate,
+                                  output_format=fmt)
+
+    def power_w(self, mode3: bool = False) -> float:
+        """Logic power of the unit array (Table 1)."""
+        return area_power.total_power_mw(self.channels, mode3) / 1000.0
+
+    def area_mm2(self) -> float:
+        """Logic area of the unit array (Table 1)."""
+        return area_power.total_area_mm2(self.channels)

@@ -1,0 +1,17 @@
+"""Read mapping substrate: k-mer index, alignment, seed-chain-extend."""
+
+from . import alignment, consensus, samlike
+from .alignment import (AlignmentResult, EditOp, apply_ops, global_align,
+                        prefix_free_align, suffix_free_align)
+from .kmer_index import AnchorHits, KmerIndex
+from .mapper import (MappedSegment, MapperConfig, MappingResult, ReadMapper,
+                     reconstruct)
+from .samlike import SamRecord, to_sam_records
+
+__all__ = [
+    "alignment", "consensus", "AlignmentResult", "EditOp", "apply_ops",
+    "global_align", "prefix_free_align", "suffix_free_align", "AnchorHits",
+    "KmerIndex", "MappedSegment", "MapperConfig", "MappingResult",
+    "ReadMapper", "reconstruct", "samlike", "SamRecord",
+    "to_sam_records",
+]

@@ -1,0 +1,218 @@
+"""Pairwise alignment with edit-script traceback.
+
+Produces the mismatch information SAGe encodes: ordered edit operations in
+read coordinates.  Three flavours are provided:
+
+- :func:`global_align` — both sequences aligned end to end (used to fill
+  gaps between chained anchors);
+- :func:`prefix_free_align` — the read segment aligns to a *suffix* of the
+  consensus window (free leading consensus gap; used for read heads, and
+  it is what turns an anchor chain into a matching position);
+- :func:`suffix_free_align` — the read segment aligns to a *prefix* of the
+  consensus window (free trailing consensus gap; used for read tails).
+
+Edit operations use the reconstruction semantics of DESIGN.md §3:
+substitution consumes one base of both sequences, insertion consumes read
+bases only, deletion consumes consensus bases only.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+#: Edit operation kinds.
+SUB = "sub"
+INS = "ins"
+DEL = "del"
+
+
+@dataclass
+class EditOp:
+    """One edit operation, in read-segment coordinates."""
+
+    kind: str                 # 'sub' | 'ins' | 'del'
+    read_pos: int             # position in the read segment
+    length: int = 1           # block length (indel blocks; subs are 1)
+    bases: np.ndarray = field(
+        default_factory=lambda: np.empty(0, dtype=np.uint8))
+
+    def shifted(self, offset: int) -> "EditOp":
+        """Copy with the read position moved by ``offset``."""
+        return EditOp(self.kind, self.read_pos + offset, self.length,
+                      self.bases)
+
+
+@dataclass
+class AlignmentResult:
+    """Outcome of one alignment call."""
+
+    ops: list[EditOp]
+    cost: int                 # edit distance (unit costs)
+    cons_used_start: int      # first consensus offset consumed (window-rel)
+    cons_used_end: int        # one past the last consensus offset consumed
+
+
+# Backpointer codes in the traceback matrix.
+_BP_DIAG = 0
+_BP_UP = 1      # consumed a read base (insertion)
+_BP_LEFT = 2    # consumed a consensus base (deletion)
+
+
+def _dp_matrix(read_seg: np.ndarray, cons_seg: np.ndarray,
+               free_start: bool) -> tuple[np.ndarray, np.ndarray]:
+    """Fill the edit-distance DP and backpointer matrices.
+
+    Rows index read positions (0..n), columns consensus positions (0..m).
+    ``free_start`` makes leading consensus gaps free (row 0 all zeros).
+    """
+    n, m = read_seg.size, cons_seg.size
+    dist = np.empty((n + 1, m + 1), dtype=np.int32)
+    back = np.empty((n + 1, m + 1), dtype=np.uint8)
+    dist[0, :] = 0 if free_start else np.arange(m + 1)
+    back[0, :] = _BP_LEFT
+    dist[:, 0] = np.arange(n + 1)
+    back[:, 0] = _BP_UP
+    back[0, 0] = _BP_DIAG
+
+    if n == 0 or m == 0:
+        return dist, back
+
+    mismatch = (read_seg[:, None] != cons_seg[None, :]).astype(np.int32)
+    cols = np.arange(1, m + 1, dtype=np.int32)
+    for i in range(1, n + 1):
+        diag = dist[i - 1, :-1] + mismatch[i - 1]
+        up = dist[i - 1, 1:] + 1
+        best = np.minimum(diag, up)
+        bp = np.where(diag <= up, _BP_DIAG, _BP_UP).astype(np.uint8)
+        # Left dependency row[j] = min(best[j], row[j-1] + 1) unrolls to a
+        # prefix-min with unit carry: row[j] = j + min_{t<=j}(cand[t] - t)
+        # where cand[0] is the first-column value.
+        base = best - cols
+        first = dist[i, 0] - 0
+        running = np.minimum.accumulate(np.concatenate(([first], base)))
+        row_vals = running[1:] + cols
+        left_better = row_vals < best
+        dist[i, 1:] = row_vals
+        back[i, 1:] = np.where(left_better, _BP_LEFT, bp)
+    return dist, back
+
+
+def _traceback(read_seg: np.ndarray, cons_seg: np.ndarray,
+               back: np.ndarray, end_i: int, end_j: int,
+               free_start: bool) -> tuple[list[EditOp], int]:
+    """Walk backpointers from (end_i, end_j); returns (ops, start_j)."""
+    raw: list[tuple[str, int]] = []  # (kind, read_pos) single-base steps
+    i, j = end_i, end_j
+    while i > 0 or j > 0:
+        if free_start and i == 0:
+            break  # leading consensus bases are free
+        code = back[i, j]
+        if code == _BP_DIAG and i > 0 and j > 0:
+            i -= 1
+            j -= 1
+            if read_seg[i] != cons_seg[j]:
+                raw.append((SUB, i))
+        elif code == _BP_UP and i > 0:
+            i -= 1
+            raw.append((INS, i))
+        else:
+            j -= 1
+            raw.append((DEL, i))
+    raw.reverse()
+
+    # Merge runs of insertions/deletions into blocks (§5.1.1 indel blocks).
+    ops: list[EditOp] = []
+    idx = 0
+    while idx < len(raw):
+        kind, pos = raw[idx]
+        if kind == SUB:
+            ops.append(EditOp(SUB, pos, 1,
+                              read_seg[pos:pos + 1].copy()))
+            idx += 1
+        elif kind == INS:
+            run = 1
+            while (idx + run < len(raw) and raw[idx + run][0] == INS
+                   and raw[idx + run][1] == pos + run):
+                run += 1
+            ops.append(EditOp(INS, pos, run,
+                              read_seg[pos:pos + run].copy()))
+            idx += run
+        else:  # DEL
+            run = 1
+            while (idx + run < len(raw) and raw[idx + run][0] == DEL
+                   and raw[idx + run][1] == pos):
+                run += 1
+            ops.append(EditOp(DEL, pos, run))
+            idx += run
+    return ops, j
+
+
+def global_align(read_seg: np.ndarray,
+                 cons_seg: np.ndarray) -> AlignmentResult:
+    """Align both segments end to end; unit-cost edit distance."""
+    read_seg = np.asarray(read_seg, dtype=np.uint8)
+    cons_seg = np.asarray(cons_seg, dtype=np.uint8)
+    dist, back = _dp_matrix(read_seg, cons_seg, free_start=False)
+    ops, start_j = _traceback(read_seg, cons_seg, back,
+                              read_seg.size, cons_seg.size, False)
+    return AlignmentResult(ops, int(dist[read_seg.size, cons_seg.size]),
+                           start_j, cons_seg.size)
+
+
+def prefix_free_align(read_seg: np.ndarray,
+                      cons_seg: np.ndarray) -> AlignmentResult:
+    """Align the read segment to a suffix of the consensus window."""
+    read_seg = np.asarray(read_seg, dtype=np.uint8)
+    cons_seg = np.asarray(cons_seg, dtype=np.uint8)
+    dist, back = _dp_matrix(read_seg, cons_seg, free_start=True)
+    ops, start_j = _traceback(read_seg, cons_seg, back,
+                              read_seg.size, cons_seg.size, True)
+    return AlignmentResult(ops, int(dist[read_seg.size, cons_seg.size]),
+                           start_j, cons_seg.size)
+
+
+def suffix_free_align(read_seg: np.ndarray,
+                      cons_seg: np.ndarray) -> AlignmentResult:
+    """Align the read segment to a prefix of the consensus window."""
+    read_seg = np.asarray(read_seg, dtype=np.uint8)
+    cons_seg = np.asarray(cons_seg, dtype=np.uint8)
+    dist, back = _dp_matrix(read_seg, cons_seg, free_start=False)
+    last_row = dist[read_seg.size]
+    end_j = int(np.argmin(last_row))
+    ops, start_j = _traceback(read_seg, cons_seg, back,
+                              read_seg.size, end_j, False)
+    return AlignmentResult(ops, int(last_row[end_j]), start_j, end_j)
+
+
+def apply_ops(cons_seg: np.ndarray, ops: list[EditOp],
+              read_length: int) -> np.ndarray:
+    """Reconstruct a read segment from consensus bases + edit ops.
+
+    This is the reference implementation of the decoder's reconstruction
+    loop, used in tests to validate alignment output.
+    """
+    cons_seg = np.asarray(cons_seg, dtype=np.uint8)
+    out = np.empty(read_length, dtype=np.uint8)
+    read_ptr = 0
+    cons_ptr = 0
+    for op in sorted(ops, key=lambda o: o.read_pos):
+        gap = op.read_pos - read_ptr
+        if gap < 0:
+            raise ValueError("ops out of order")
+        out[read_ptr:op.read_pos] = cons_seg[cons_ptr:cons_ptr + gap]
+        read_ptr += gap
+        cons_ptr += gap
+        if op.kind == SUB:
+            out[read_ptr] = op.bases[0]
+            read_ptr += 1
+            cons_ptr += 1
+        elif op.kind == INS:
+            out[read_ptr:read_ptr + op.length] = op.bases
+            read_ptr += op.length
+        else:  # DEL
+            cons_ptr += op.length
+    tail = read_length - read_ptr
+    out[read_ptr:] = cons_seg[cons_ptr:cons_ptr + tail]
+    return out

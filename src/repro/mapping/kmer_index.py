@@ -1,0 +1,86 @@
+"""K-mer index over a consensus sequence.
+
+The compressor identifies mismatches "by mapping reads to the consensus
+sequence" (§5.1).  This index supports that: it stores every k-mer of the
+consensus in a sorted array so a read's k-mers can be looked up in one
+vectorized ``searchsorted`` pass.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..genomics import sequence as seq
+
+
+@dataclass
+class AnchorHits:
+    """Matching (read position, consensus position) anchor pairs."""
+
+    read_pos: np.ndarray
+    cons_pos: np.ndarray
+
+    def __len__(self) -> int:
+        return int(self.read_pos.size)
+
+
+class KmerIndex:
+    """Sorted-array index of all k-mers in a consensus sequence."""
+
+    def __init__(self, consensus: np.ndarray, k: int = 15,
+                 max_occurrences: int = 32):
+        """Index ``consensus``.
+
+        ``max_occurrences`` caps how many consensus positions a single
+        (repetitive) k-mer may report during queries.
+        """
+        self.consensus = np.asarray(consensus, dtype=np.uint8)
+        self.k = k
+        self.max_occurrences = max_occurrences
+
+        kmers = seq.kmer_codes(self.consensus, k)
+        sentinel = np.uint64(1) << np.uint64(2 * k)
+        valid = kmers != sentinel
+        positions = np.nonzero(valid)[0].astype(np.int64)
+        values = kmers[valid]
+        order = np.argsort(values, kind="stable")
+        self._values = values[order]
+        self._positions = positions[order]
+        # Range of each distinct k-mer in the sorted arrays.
+        self._starts = np.searchsorted(self._values, self._values, "left")
+
+    def __len__(self) -> int:
+        return int(self._values.size)
+
+    def lookup(self, read_codes: np.ndarray, stride: int = 1) -> AnchorHits:
+        """Anchor hits for every ``stride``-th k-mer of a read."""
+        read_codes = np.asarray(read_codes, dtype=np.uint8)
+        kmers = seq.kmer_codes(read_codes, self.k)
+        if kmers.size == 0 or self._values.size == 0:
+            empty = np.empty(0, dtype=np.int64)
+            return AnchorHits(empty, empty)
+        read_positions = np.arange(kmers.size, dtype=np.int64)
+        if stride > 1:
+            kmers = kmers[::stride]
+            read_positions = read_positions[::stride]
+        sentinel = np.uint64(1) << np.uint64(2 * self.k)
+        keep = kmers != sentinel
+        kmers = kmers[keep]
+        read_positions = read_positions[keep]
+
+        lo = np.searchsorted(self._values, kmers, "left")
+        hi = np.searchsorted(self._values, kmers, "right")
+        counts = np.minimum(hi - lo, self.max_occurrences)
+        total = int(counts.sum())
+        if total == 0:
+            empty = np.empty(0, dtype=np.int64)
+            return AnchorHits(empty, empty)
+
+        out_read = np.repeat(read_positions, counts)
+        # Gather consensus positions: for query i, slots lo[i]..lo[i]+c-1.
+        offsets = np.concatenate([np.arange(c) for c in counts if c > 0])
+        starts = np.repeat(lo, counts)
+        out_cons = self._positions[starts + offsets]
+        return AnchorHits(out_read, out_cons)

@@ -1,0 +1,134 @@
+"""SAM-style rendering of mapping results.
+
+Read mapping's output feeds downstream analyses as ``.bam``/``.cram``
+records (Fig. 2 of the paper).  This module renders
+:class:`~repro.mapping.mapper.MappingResult` objects as SAM-like text:
+CIGAR strings derived from the edit script, flags for strand and
+supplementary (chimeric) segments, and 1-based positions.  It gives the
+analysis substrate a concrete, inspectable output format and doubles as
+an independent check of the edit scripts (CIGAR lengths must add up).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..genomics import sequence as seq
+from ..genomics.reads import Read
+from .alignment import DEL, INS
+from .mapper import MappedSegment, MappingResult
+
+#: SAM flag bits used here.
+FLAG_UNMAPPED = 0x4
+FLAG_REVERSE = 0x10
+FLAG_SUPPLEMENTARY = 0x800
+
+
+class SamError(ValueError):
+    """Raised when a mapping cannot be rendered."""
+
+
+@dataclass
+class SamRecord:
+    """One alignment line (subset of SAM columns)."""
+
+    qname: str
+    flag: int
+    pos: int          # 1-based leftmost consensus position
+    cigar: str
+    sequence: str
+
+    def to_line(self, rname: str = "consensus") -> str:
+        return "\t".join([self.qname, str(self.flag), rname,
+                          str(self.pos), "60", self.cigar, "*", "0",
+                          "0", self.sequence, "*"])
+
+
+def segment_cigar(segment: MappedSegment, clip_start: int = 0,
+                  clip_end: int = 0) -> str:
+    """CIGAR for one segment: soft clips, matches, indel blocks.
+
+    Substitutions are folded into ``M`` (alignment match) per SAM
+    convention; insertions and deletions become ``I``/``D`` runs.
+    """
+    parts: list[tuple[int, str]] = []
+    if clip_start:
+        parts.append((clip_start, "S"))
+    read_ptr = 0
+    for op in segment.ops:
+        gap = op.read_pos - read_ptr
+        if gap < 0:
+            raise SamError("edit script positions out of order")
+        if gap:
+            parts.append((gap, "M"))
+            read_ptr = op.read_pos
+        if op.kind == INS:
+            parts.append((op.length, "I"))
+            read_ptr += op.length
+        elif op.kind == DEL:
+            parts.append((op.length, "D"))
+        else:  # substitution: M consumes both
+            parts.append((1, "M"))
+            read_ptr += 1
+    tail = segment.length - read_ptr
+    if tail < 0:
+        raise SamError("edit script overruns the segment")
+    if tail:
+        parts.append((tail, "M"))
+    if clip_end:
+        parts.append((clip_end, "S"))
+
+    merged: list[tuple[int, str]] = []
+    for length, code in parts:
+        if merged and merged[-1][1] == code:
+            merged[-1] = (merged[-1][0] + length, code)
+        else:
+            merged.append((length, code))
+    return "".join(f"{length}{code}" for length, code in merged)
+
+
+def cigar_read_length(cigar: str) -> int:
+    """Read bases consumed by a CIGAR (M, I, S operations)."""
+    total = 0
+    number = ""
+    for ch in cigar:
+        if ch.isdigit():
+            number += ch
+        else:
+            if ch in "MIS":
+                total += int(number)
+            number = ""
+    return total
+
+
+def to_sam_records(read: Read, mapping: MappingResult,
+                   qname: str | None = None) -> list[SamRecord]:
+    """Render one read's mapping as SAM records (one per segment)."""
+    qname = qname or read.header or "read"
+    if mapping.unmapped:
+        return [SamRecord(qname, FLAG_UNMAPPED, 0, "*", read.text)]
+
+    oriented = (seq.reverse_complement(read.codes) if mapping.reverse
+                else read.codes)
+    text = seq.decode(oriented)
+    base_flag = FLAG_REVERSE if mapping.reverse else 0
+    clip_s = int(mapping.clip_start.size)
+    clip_e = int(mapping.clip_end.size)
+
+    records: list[SamRecord] = []
+    segments = sorted(mapping.segments, key=lambda s: s.read_start)
+    for i, segment in enumerate(segments):
+        flag = base_flag | (FLAG_SUPPLEMENTARY if i else 0)
+        # Everything outside this segment (adapter clips and, for
+        # chimeras, the other segments) is soft-clipped in its record —
+        # the standard supplementary-alignment representation.
+        lead_clip = segment.read_start
+        trail_clip = len(read) - segment.read_end
+        cigar = segment_cigar(segment, lead_clip, trail_clip)
+        consumed = cigar_read_length(cigar)
+        if consumed != len(read):
+            raise SamError(
+                f"CIGAR consumes {consumed} bases, read has {len(read)}")
+        records.append(SamRecord(qname, flag, segment.cons_start + 1,
+                                 cigar, text))
+    return records

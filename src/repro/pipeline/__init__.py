@@ -1,0 +1,19 @@
+"""End-to-end system model: pipeline stages, accelerators, configs."""
+
+from . import accelerators, configs, endtoend, stages
+from .accelerators import (AnalysisAccelerator, ISFModel, gem,
+                           measure_filter_fraction, software_mapper)
+from .configs import (PREP_ORDER, PREP_TOOLS, DatasetModel,
+                      dataset_from_paper, paper_dataset_models)
+from .endtoend import (EndToEndResult, SystemConfig, build_stages,
+                       evaluate, geometric_mean, speedup_over)
+from .stages import PipelineResult, Stage, simulate_pipeline
+
+__all__ = [
+    "accelerators", "configs", "endtoend", "stages",
+    "AnalysisAccelerator", "ISFModel", "gem", "measure_filter_fraction",
+    "software_mapper", "PREP_ORDER", "PREP_TOOLS", "DatasetModel",
+    "dataset_from_paper", "paper_dataset_models", "EndToEndResult",
+    "SystemConfig", "build_stages", "evaluate", "geometric_mean",
+    "speedup_over", "PipelineResult", "Stage", "simulate_pipeline",
+]

@@ -1,0 +1,52 @@
+"""Shared fixtures: small deterministic datasets, cached per session."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.genomics import datasets
+from repro.genomics.simulator import ReadSimulator, short_read_profile
+
+
+@pytest.fixture(scope="session")
+def rs2_small():
+    """Deep short-read analog (best-compressing)."""
+    return datasets.generate("RS2", base_genome=8_000)
+
+
+@pytest.fixture(scope="session")
+def rs3_small():
+    """Shallow short-read analog."""
+    return datasets.generate("RS3", base_genome=8_000)
+
+
+@pytest.fixture(scope="session")
+def rs4_small():
+    """Long-read analog with chimeras, bursts, clips, and Ns."""
+    return datasets.generate("RS4", base_genome=9_000)
+
+
+@pytest.fixture(scope="session")
+def rs5_small():
+    """Cleaner long-read analog."""
+    return datasets.generate("RS5", base_genome=9_000)
+
+
+@pytest.fixture(scope="session")
+def clean_short_sim():
+    """Short reads with almost no errors (mapper/ISF ground truth)."""
+    profile = short_read_profile(sub_rate=0.0, ins_rate=0.0, del_rate=0.0,
+                                 clip_rate=0.0, n_rate=0.0, snp_rate=0.0,
+                                 indel_variant_rate=0.0)
+    sim = ReadSimulator(profile, np.random.default_rng(7))
+    return sim.simulate(6_000, 450)
+
+
+def read_multiset(read_set):
+    """Order-independent content signature of a read set."""
+    out = []
+    for read in read_set:
+        qual = read.quality.tobytes() if read.quality is not None else b""
+        out.append((read.codes.tobytes(), qual))
+    return sorted(out)

@@ -1,0 +1,106 @@
+"""Tests for dataset analytics (Figs 7/10 properties, Fig 17 ablation)."""
+
+import numpy as np
+import pytest
+
+from repro.analysis import analyze, run_ablation
+from repro.core.mismatch import CATEGORIES, OptLevel
+
+
+class TestProperties:
+    @pytest.fixture(scope="class")
+    def long_report(self, rs4_small):
+        return analyze(rs4_small.read_set, rs4_small.reference)
+
+    @pytest.fixture(scope="class")
+    def short_report(self, rs2_small):
+        return analyze(rs2_small.read_set, rs2_small.reference)
+
+    def test_property1_small_position_deltas(self, long_report):
+        """Fig 7(a): most delta-encoded mismatch positions need few bits."""
+        hist = long_report.mismatch_pos_bitcount_hist()
+        assert hist[:8].sum() / max(1, hist.sum()) > 0.85
+
+    def test_property2_most_short_reads_clean(self, short_report):
+        """Fig 7(b): most short reads have zero or few mismatches."""
+        hist = short_report.mismatch_count_hist()
+        total = hist.sum()
+        assert hist[0] / total > 0.5
+        assert hist[:3].sum() / total > 0.9
+
+    def test_property3_indel_blocks(self, long_report):
+        """Fig 7(c)/(d): single-base blocks dominate counts, long blocks
+        hold a disproportionate share of bases."""
+        lengths, cdf = long_report.indel_length_cdf()
+        assert lengths[0] == 1
+        assert cdf[0] > 0.5
+        lengths_b, bases_cdf = long_report.indel_bases_cdf()
+        idx = np.searchsorted(lengths_b, 10)
+        long_share = 1.0 - (bases_cdf[idx - 1] if idx > 0 else 0.0)
+        assert long_share > 0.2
+
+    def test_property6_matching_pos_deltas(self, short_report):
+        """Fig 10: sorted matching positions have tiny deltas."""
+        fractions = short_report.matching_pos_bitcount_fractions()
+        assert fractions[:5].sum() > 0.7
+
+    def test_chimeras_counted(self, long_report):
+        assert long_report.n_chimeric > 0
+
+    def test_counts_are_consistent(self, long_report):
+        assert long_report.mismatch_counts.size \
+            == long_report.n_reads - long_report.n_unmapped
+
+
+class TestAblation:
+    @pytest.fixture(scope="class")
+    def long_ablation(self, rs4_small):
+        return run_ablation(rs4_small.read_set, rs4_small.reference)
+
+    @pytest.fixture(scope="class")
+    def short_ablation(self, rs2_small):
+        return run_ablation(rs2_small.read_set, rs2_small.reference)
+
+    def test_monotonic_reduction(self, long_ablation):
+        sizes = [long_ablation.total_bits(level) for level in OptLevel]
+        assert all(a >= b for a, b in zip(sizes, sizes[1:]))
+
+    def test_o1_shrinks_matching_pos_short(self, short_ablation):
+        no = short_ablation.breakdowns[OptLevel.NO]
+        o1 = short_ablation.breakdowns[OptLevel.O1]
+        assert o1.get("matching_pos") < 0.6 * no.get("matching_pos")
+
+    def test_o2_shrinks_positions_long(self, long_ablation):
+        o1 = long_ablation.breakdowns[OptLevel.O1]
+        o2 = long_ablation.breakdowns[OptLevel.O2]
+        assert o2.get("mismatch_pos") < 0.6 * o1.get("mismatch_pos")
+
+    def test_o2_shrinks_counts_short(self, short_ablation):
+        o1 = short_ablation.breakdowns[OptLevel.O1]
+        o2 = short_ablation.breakdowns[OptLevel.O2]
+        assert o2.get("mismatch_counts") < 0.5 * o1.get("mismatch_counts")
+
+    def test_o3_shrinks_bases_and_types_long(self, long_ablation):
+        """Type inference + chimeric top-N shrink the base/type payload:
+        substitutions drop from 4 bits (type+base) to 2 (inferred), and
+        chimeric segments replace giant mismatch runs (§5.1.2)."""
+        o2 = long_ablation.breakdowns[OptLevel.O2]
+        o3 = long_ablation.breakdowns[OptLevel.O3]
+        o2_payload = o2.get("mismatch_bases") + o2.get("mismatch_types")
+        o3_payload = o3.get("mismatch_bases") + o3.get("mismatch_types")
+        assert o3_payload < 0.8 * o2_payload
+        # Chimeric splitting also collapses positions while paying a
+        # little more in matching positions (extra segments).
+        assert o3.get("mismatch_pos") < o2.get("mismatch_pos")
+        assert o3.get("matching_pos") >= o2.get("matching_pos")
+
+    def test_normalized_fractions_bounded(self, long_ablation):
+        norm = long_ablation.normalized()
+        assert norm[OptLevel.NO][CATEGORIES[0]] >= 0
+        total_no = sum(norm[OptLevel.NO].values())
+        assert total_no == pytest.approx(1.0, rel=1e-6)
+        for level in OptLevel:
+            assert sum(norm[level].values()) <= 1.0 + 1e-9
+
+    def test_final_reduction_substantial(self, long_ablation):
+        assert long_ablation.reduction(OptLevel.O4) < 0.6

@@ -1,0 +1,82 @@
+"""Tests for the sage command-line interface."""
+
+import numpy as np
+import pytest
+
+from repro.cli import main
+from repro.genomics import fastq
+from repro.genomics import sequence as seq
+
+from tests.conftest import read_multiset
+
+
+@pytest.fixture()
+def workdir(tmp_path, rs3_small):
+    fq = tmp_path / "reads.fastq"
+    ref = tmp_path / "ref.txt"
+    fastq.write_file(rs3_small.read_set, fq)
+    ref.write_text(seq.decode(rs3_small.reference), encoding="ascii")
+    return tmp_path
+
+
+class TestCompressDecompress:
+    def test_roundtrip(self, workdir, rs3_small, capsys):
+        archive = workdir / "reads.sage"
+        out = workdir / "out.fastq"
+        assert main(["compress", str(workdir / "reads.fastq"),
+                     str(workdir / "ref.txt"), str(archive)]) == 0
+        assert archive.exists()
+        assert main(["decompress", str(archive), str(out)]) == 0
+        decoded = fastq.read_file(out)
+        assert read_multiset(decoded) == read_multiset(rs3_small.read_set)
+        captured = capsys.readouterr()
+        assert "ratio" in captured.out
+
+    def test_level_flag(self, workdir):
+        archive = workdir / "o1.sage"
+        assert main(["compress", str(workdir / "reads.fastq"),
+                     str(workdir / "ref.txt"), str(archive),
+                     "--level", "O1"]) == 0
+        from repro.core.container import SAGeArchive
+        back = SAGeArchive.from_bytes(archive.read_bytes())
+        assert back.level.name == "O1"
+
+    def test_no_quality_flag(self, workdir):
+        archive = workdir / "nq.sage"
+        assert main(["compress", str(workdir / "reads.fastq"),
+                     str(workdir / "ref.txt"), str(archive),
+                     "--no-quality"]) == 0
+        from repro.core.container import SAGeArchive
+        back = SAGeArchive.from_bytes(archive.read_bytes())
+        assert back.quality is None
+
+
+class TestInspect:
+    def test_reports_fields(self, workdir, capsys):
+        archive = workdir / "reads.sage"
+        main(["compress", str(workdir / "reads.fastq"),
+              str(workdir / "ref.txt"), str(archive)])
+        capsys.readouterr()
+        assert main(["inspect", str(archive)]) == 0
+        out = capsys.readouterr().out
+        assert "level: O4" in out
+        assert "stream" in out
+        assert "mapped" in out
+
+
+class TestSimulate:
+    def test_writes_fastq_and_reference(self, tmp_path, capsys):
+        out = tmp_path / "sim.fastq"
+        assert main(["simulate", "RS3", str(out),
+                     "--genome", "4000"]) == 0
+        rs = fastq.read_file(out)
+        assert len(rs) > 10
+        ref_text = (tmp_path / "sim.ref.txt").read_text()
+        assert set(ref_text) <= set("ACGT")
+
+    def test_compose_simulate_compress(self, tmp_path, capsys):
+        out = tmp_path / "sim.fastq"
+        main(["simulate", "RS3", str(out), "--genome", "4000"])
+        archive = tmp_path / "sim.sage"
+        assert main(["compress", str(out),
+                     str(tmp_path / "sim.ref.txt"), str(archive)]) == 0

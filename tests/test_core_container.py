@@ -1,0 +1,70 @@
+"""Unit tests for repro.core.container serialization."""
+
+import pytest
+
+from repro.core import SAGeCompressor, SAGeConfig
+from repro.core.container import ContainerError, SAGeArchive
+
+
+@pytest.fixture(scope="module")
+def archive(rs3_small):
+    config = SAGeConfig()
+    return SAGeCompressor(rs3_small.reference, config) \
+        .compress(rs3_small.read_set)
+
+
+class TestSerialization:
+    def test_roundtrip_fields(self, archive):
+        back = SAGeArchive.from_bytes(archive.to_bytes())
+        assert back.level == archive.level
+        assert back.n_mapped == archive.n_mapped
+        assert back.n_unmapped == archive.n_unmapped
+        assert back.fixed_length == archive.fixed_length
+        assert back.fixed_read_length == archive.fixed_read_length
+        assert back.consensus_length == archive.consensus_length
+        assert back.w_rlen == archive.w_rlen
+        assert back.w_cons == archive.w_cons
+
+    def test_roundtrip_streams(self, archive):
+        back = SAGeArchive.from_bytes(archive.to_bytes())
+        assert set(back.streams) == set(archive.streams)
+        for name, (payload, bits) in archive.streams.items():
+            assert back.streams[name] == (payload, bits)
+
+    def test_roundtrip_tables(self, archive):
+        back = SAGeArchive.from_bytes(archive.to_bytes())
+        assert set(back.tables) == set(archive.tables)
+        for key, table in archive.tables.items():
+            assert back.tables[key].widths == table.widths
+
+    def test_roundtrip_quality(self, archive):
+        back = SAGeArchive.from_bytes(archive.to_bytes())
+        assert back.quality is not None
+        assert back.quality.payload == archive.quality.payload
+        assert back.quality.n_scores == archive.quality.n_scores
+
+    def test_byte_size_tracks_blob(self, archive):
+        blob = archive.to_bytes()
+        # byte_size() is an accounting estimate; it must be within a few
+        # percent of the actual serialized size.
+        assert abs(len(blob) - archive.byte_size()) < 0.05 * len(blob) + 64
+
+
+class TestValidation:
+    def test_bad_magic(self, archive):
+        blob = bytearray(archive.to_bytes())
+        blob[0] ^= 0xFF
+        with pytest.raises(ContainerError):
+            SAGeArchive.from_bytes(bytes(blob))
+
+    def test_bad_version(self, archive):
+        blob = bytearray(archive.to_bytes())
+        blob[4] = 0xEE
+        with pytest.raises(ContainerError):
+            SAGeArchive.from_bytes(bytes(blob))
+
+    def test_header_estimate_matches(self, archive):
+        # The header estimate is used for size accounting; serializing
+        # twice must agree.
+        assert archive.header_bytes_estimate() \
+            == archive.header_bytes_estimate()

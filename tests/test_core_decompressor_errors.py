@@ -1,0 +1,97 @@
+"""Failure-injection tests: corrupted archives must fail loudly.
+
+A lossless codec's decoder must never silently emit wrong data; these
+tests truncate, zero, and mangle streams and check for clean errors (or
+a detected inconsistency) instead of garbage output.
+"""
+
+import numpy as np
+import pytest
+
+from repro.core import SAGeCompressor, SAGeConfig, SAGeDecompressor
+from repro.core.bitio import BitIOError
+from repro.core.container import SAGeArchive
+from repro.core.decompressor import DecompressionError
+
+
+@pytest.fixture(scope="module")
+def archive(rs3_small):
+    return SAGeCompressor(rs3_small.reference,
+                          SAGeConfig(with_quality=False)) \
+        .compress(rs3_small.read_set)
+
+
+def _mutate(archive, stream, new_pair):
+    clone = SAGeArchive.from_bytes(archive.to_bytes())
+    clone.streams = dict(clone.streams)
+    clone.streams[stream] = new_pair
+    return clone
+
+
+class TestTruncation:
+    @pytest.mark.parametrize("stream", ["mmpa", "mmpga", "mbta", "mpa"])
+    def test_truncated_stream_raises(self, archive, stream):
+        payload, bits = archive.streams[stream]
+        clone = _mutate(archive, stream, (payload[:len(payload) // 2],
+                                          bits // 2))
+        with pytest.raises((BitIOError, DecompressionError, ValueError,
+                            IndexError)):
+            SAGeDecompressor(clone).decompress()
+
+    def test_truncated_consensus_raises(self, archive):
+        payload, bits = archive.streams["consensus"]
+        clone = _mutate(archive, "consensus",
+                        (payload[:len(payload) // 2], bits // 2))
+        with pytest.raises(Exception):
+            SAGeDecompressor(clone).decompress()
+
+    def test_empty_mbta_raises(self, archive):
+        clone = _mutate(archive, "mbta", (b"", 0))
+        with pytest.raises((BitIOError, DecompressionError, ValueError)):
+            SAGeDecompressor(clone).decompress()
+
+
+class TestContainerValidation:
+    def test_truncated_blob(self, archive):
+        blob = archive.to_bytes()
+        with pytest.raises(Exception):
+            SAGeArchive.from_bytes(blob[:len(blob) // 3])
+
+    def test_reader_count_mismatch_detected(self, archive):
+        # Claim one extra mapped read: the decoder must run out of
+        # stream data rather than fabricate a read.
+        clone = SAGeArchive.from_bytes(archive.to_bytes())
+        clone.n_mapped += 1
+        with pytest.raises((BitIOError, DecompressionError, ValueError,
+                            IndexError)):
+            SAGeDecompressor(clone).decompress()
+
+    def test_quality_read_count_mismatch(self, rs3_small):
+        full = SAGeCompressor(rs3_small.reference, SAGeConfig()) \
+            .compress(rs3_small.read_set)
+        clone = SAGeArchive.from_bytes(full.to_bytes())
+        # Drop the last unmapped/mapped read but keep the quality blob:
+        # score counts will not line up.
+        if clone.n_unmapped > 0:
+            clone.n_unmapped -= 1
+        else:
+            clone.n_mapped -= 1
+        with pytest.raises(Exception):
+            SAGeDecompressor(clone).decompress()
+
+
+class TestStreamContentCorruption:
+    def test_zeroed_guide_stream(self, archive):
+        payload, bits = archive.streams["mmpga"]
+        clone = _mutate(archive, "mmpga", (bytes(len(payload)), bits))
+        decoder = SAGeDecompressor(clone)
+        try:
+            decoded = decoder.decompress()
+        except Exception:
+            return  # loud failure is acceptable
+        # If it decodes structurally, the content must differ from the
+        # original (corruption must not be silently absorbed).
+        original = SAGeDecompressor(archive).decompress()
+        same = all(np.array_equal(a.codes, b.codes)
+                   for a, b in zip(decoded, original))
+        assert not same

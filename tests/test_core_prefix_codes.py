@@ -1,0 +1,113 @@
+"""Unit tests for repro.core.prefix_codes."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.core.bitio import BitReader, BitWriter
+from repro.core.prefix_codes import (MAX_CLASSES, AssociationTable,
+                                     unary_code_length)
+
+
+class TestValidation:
+    def test_needs_at_least_one_class(self):
+        with pytest.raises(ValueError):
+            AssociationTable(())
+
+    def test_too_many_classes(self):
+        with pytest.raises(ValueError):
+            AssociationTable(tuple(range(1, MAX_CLASSES + 2)))
+
+    def test_duplicate_widths_rejected(self):
+        with pytest.raises(ValueError):
+            AssociationTable((3, 3))
+
+    def test_width_range(self):
+        with pytest.raises(ValueError):
+            AssociationTable((64,))
+
+
+class TestClassSelection:
+    def test_smallest_fitting_class(self):
+        table = AssociationTable((2, 4, 8))
+        assert table.class_for_value(3) == 0
+        assert table.class_for_value(4) == 1
+        assert table.class_for_value(200) == 2
+
+    def test_cheapest_not_first(self):
+        # Class 0 is wide (frequent large values); a small value is still
+        # cheaper in class 0 (1+8) than class 1 (2+2=4)?  No: 4 < 9, so
+        # the narrow class wins despite its longer unary code.
+        table = AssociationTable((8, 2))
+        assert table.class_for_value(3) == 1
+        assert table.encoded_bits(3) == 2 + 2
+
+    def test_value_too_large(self):
+        table = AssociationTable((2, 4))
+        with pytest.raises(ValueError):
+            table.class_for_value(16)
+
+    def test_from_histogram_orders_by_frequency(self):
+        table = AssociationTable.from_histogram([2, 5, 8], [10, 500, 3])
+        assert table.widths == (5, 2, 8)
+
+    def test_max_width(self):
+        assert AssociationTable((3, 7, 5)).max_width == 7
+
+
+class TestEncodeDecode:
+    @given(st.lists(st.integers(min_value=0, max_value=255), min_size=1,
+                    max_size=100))
+    def test_roundtrip(self, values):
+        table = AssociationTable((2, 5, 8))
+        guide, array = BitWriter(), BitWriter()
+        for v in values:
+            table.encode(v, guide, array)
+        gr = BitReader(guide.getvalue(), guide.bit_length)
+        ar = BitReader(array.getvalue(), array.bit_length)
+        assert [table.decode(gr, ar) for _ in values] == values
+
+    def test_guide_and_array_separated(self):
+        table = AssociationTable((1, 4))
+        guide, array = BitWriter(), BitWriter()
+        table.encode(0, guide, array)   # class 0: guide '0', array 1 bit
+        table.encode(9, guide, array)   # class 1: guide '10', array 4 bits
+        assert guide.bit_length == 1 + 2
+        assert array.bit_length == 1 + 4
+
+    def test_decode_unknown_class(self):
+        table = AssociationTable((2,))
+        guide, array = BitWriter(), BitWriter()
+        guide.write_unary(3)  # class 3 does not exist
+        array.write(0, 2)
+        gr = BitReader(guide.getvalue(), guide.bit_length)
+        ar = BitReader(array.getvalue(), array.bit_length)
+        with pytest.raises(ValueError):
+            table.decode(gr, ar)
+
+    def test_encoded_bits_matches_streams(self):
+        table = AssociationTable((3, 6))
+        for value in (0, 7, 8, 63):
+            guide, array = BitWriter(), BitWriter()
+            table.encode(value, guide, array)
+            assert table.encoded_bits(value) \
+                == guide.bit_length + array.bit_length
+
+
+class TestSerialization:
+    @given(st.sets(st.integers(min_value=0, max_value=63), min_size=1,
+                   max_size=MAX_CLASSES))
+    def test_roundtrip(self, widths):
+        table = AssociationTable(tuple(widths))
+        w = BitWriter()
+        table.serialize(w)
+        back = AssociationTable.deserialize(
+            BitReader(w.getvalue(), w.bit_length))
+        assert back.widths == table.widths
+
+
+def test_unary_code_length():
+    assert unary_code_length(0) == 1
+    assert unary_code_length(3) == 4
+    with pytest.raises(ValueError):
+        unary_code_length(-1)

@@ -1,0 +1,66 @@
+"""Unit tests for repro.core.quality."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core import quality
+
+score_arrays = st.lists(st.integers(min_value=0, max_value=60),
+                        min_size=0, max_size=2000).map(
+    lambda xs: np.array(xs, dtype=np.uint8))
+
+
+class TestRoundtrip:
+    @settings(max_examples=30, deadline=None)
+    @given(score_arrays, st.booleans())
+    def test_lossless(self, scores, order1):
+        blob = quality.compress(scores, order1=order1)
+        back = quality.decompress(blob)
+        assert np.array_equal(back, scores)
+
+    def test_empty(self):
+        blob = quality.compress(np.empty(0, dtype=np.uint8))
+        assert quality.decompress(blob).size == 0
+
+    def test_single_value_alphabet(self):
+        scores = np.full(1000, 37, dtype=np.uint8)
+        blob = quality.compress(scores)
+        assert np.array_equal(quality.decompress(blob), scores)
+
+    def test_multi_block(self):
+        rng = np.random.default_rng(0)
+        scores = rng.integers(0, 40, 5000).astype(np.uint8)
+        blob = quality.compress(scores, block_size=1024)
+        assert np.array_equal(quality.decompress(blob), scores)
+
+
+class TestCompressionBehaviour:
+    def test_skewed_scores_compress(self):
+        rng = np.random.default_rng(0)
+        scores = rng.choice([37, 23, 12, 2], size=20_000,
+                            p=[0.7, 0.17, 0.09, 0.04]).astype(np.uint8)
+        blob = quality.compress(scores, order1=False)
+        ratio = scores.size / blob.byte_size
+        assert ratio > 3.0
+
+    def test_order1_helps_correlated_streams(self):
+        rng = np.random.default_rng(1)
+        # Random-walk qualities (nanopore-like autocorrelation).
+        steps = rng.integers(-1, 2, 30_000)
+        scores = np.clip(20 + np.cumsum(steps) % 8, 0, 59).astype(np.uint8)
+        blob0 = quality.compress(scores, order1=False)
+        blob1 = quality.compress(scores, order1=True)
+        assert blob1.byte_size <= blob0.byte_size * 1.02
+
+    def test_uniform_scores_near_incompressible(self):
+        rng = np.random.default_rng(2)
+        scores = rng.integers(0, 60, 20_000).astype(np.uint8)
+        blob = quality.compress(scores, order1=False)
+        ratio = scores.size / blob.byte_size
+        assert ratio < 1.6
+
+    def test_blob_records_count(self):
+        scores = np.array([1, 2, 3], dtype=np.uint8)
+        assert quality.compress(scores).n_scores == 3

@@ -1,0 +1,119 @@
+"""Unit tests for repro.core.tuning (Algorithm 1)."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core import tuning
+from repro.core.tuning import (bit_count, bit_count_histogram, tune,
+                               tune_exhaustive, tune_values)
+
+
+class TestBitCount:
+    @pytest.mark.parametrize("value,bits", [
+        (0, 1), (1, 1), (2, 2), (3, 2), (4, 3), (255, 8), (256, 9)])
+    def test_known_values(self, value, bits):
+        assert bit_count(value) == bits
+
+    def test_negative(self):
+        with pytest.raises(ValueError):
+            bit_count(-1)
+
+
+class TestHistogram:
+    def test_counts_by_needed_bits(self):
+        hist = bit_count_histogram([0, 1, 2, 3, 4, 7, 8])
+        assert hist[1] == 2   # 0 and 1 need one bit
+        assert hist[2] == 2   # 2 and 3
+        assert hist[3] == 2   # 4 and 7
+        assert hist[4] == 1   # 8
+
+    def test_empty(self):
+        assert bit_count_histogram([]).sum() == 0
+
+    def test_negative_rejected(self):
+        with pytest.raises(ValueError):
+            bit_count_histogram([-1])
+
+    def test_max_bits_enforced(self):
+        with pytest.raises(ValueError):
+            bit_count_histogram([1 << 40], max_bits=32)
+
+    @given(st.lists(st.integers(min_value=0, max_value=10**6), min_size=1,
+                    max_size=200))
+    def test_total_preserved(self, values):
+        assert bit_count_histogram(values).sum() == len(values)
+
+
+class TestTune:
+    def test_single_bin(self):
+        hist = np.zeros(33, dtype=np.int64)
+        hist[5] = 100
+        result = tune(hist)
+        assert result.boundaries == (5,)
+
+    def test_empty_histogram(self):
+        result = tune(np.zeros(33, dtype=np.int64))
+        assert result.boundaries == (1,)
+
+    def test_covers_max_bits(self):
+        hist = np.zeros(33, dtype=np.int64)
+        hist[3] = 1000
+        hist[12] = 1
+        result = tune(hist)
+        assert result.boundaries[-1] == 12
+
+    def test_two_modes_get_two_classes(self):
+        hist = np.zeros(33, dtype=np.int64)
+        hist[2] = 10_000
+        hist[9] = 10_000
+        result = tune(hist)
+        assert result.boundaries == (2, 9)
+
+    def test_single_class_when_merging_is_cheaper(self):
+        # All mass at adjacent widths: one class avoids guide overhead.
+        hist = np.zeros(33, dtype=np.int64)
+        hist[7] = 500
+        hist[8] = 500
+        result = tune(hist)
+        assert result.boundaries == (8,)
+
+    def test_encoded_size_is_achievable(self):
+        rng = np.random.default_rng(0)
+        values = (rng.geometric(0.2, 2000) - 1).tolist()
+        result = tune_values(values)
+        # Re-cost the chosen boundaries by encoding every value.
+        total = sum(result.table.encoded_bits(v) for v in values)
+        # The tuner's estimate assumes range-based class assignment; the
+        # encoder picks the cheapest class, so it can only do better.
+        assert total <= result.encoded_bits
+
+    @settings(max_examples=25, deadline=None)
+    @given(st.lists(st.integers(min_value=0, max_value=4000), min_size=1,
+                    max_size=300))
+    def test_epsilon_never_beats_exhaustive_by_much(self, values):
+        hist = bit_count_histogram(values)
+        fast = tune(hist)
+        best = tune_exhaustive(hist)
+        assert best.encoded_bits <= fast.encoded_bits
+        # ε-early-exit loses at most a few percent.
+        assert fast.encoded_bits <= best.encoded_bits * 1.10 + 64
+
+    @settings(max_examples=25, deadline=None)
+    @given(st.lists(st.integers(min_value=0, max_value=255), min_size=1,
+                    max_size=300))
+    def test_all_values_representable(self, values):
+        result = tune_values(values)
+        for v in set(values):
+            result.table.class_for_value(v)  # must not raise
+
+    def test_large_support_is_pruned_but_valid(self):
+        rng = np.random.default_rng(1)
+        values = np.concatenate([
+            rng.integers(0, 4, 5000),
+            rng.integers(0, 2**28, 20)]).tolist()
+        result = tune_values(values)
+        assert result.boundaries[-1] >= tuning.bit_count(max(values))
+        for v in values:
+            result.table.class_for_value(v)

@@ -1,0 +1,78 @@
+"""Tests for the RS1-RS5 synthetic analog specifications."""
+
+import numpy as np
+import pytest
+
+from repro.genomics import datasets
+
+
+class TestSpecs:
+    def test_all_five_present(self):
+        specs = datasets.dataset_specs()
+        assert sorted(specs) == ["RS1", "RS2", "RS3", "RS4", "RS5"]
+
+    def test_kinds_match_paper(self):
+        specs = datasets.dataset_specs()
+        assert specs["RS1"].kind == "short"
+        assert specs["RS2"].kind == "short"
+        assert specs["RS3"].kind == "short"
+        assert specs["RS4"].kind == "long"
+        assert specs["RS5"].kind == "long"
+
+    def test_paper_numbers_attached(self):
+        spec = datasets.get_spec("RS2")
+        assert spec.paper.accession == "ERR194146_1"
+        assert spec.paper.spring_dna == pytest.approx(40.2)
+        assert spec.paper.uncompressed_mb == pytest.approx(158_000)
+
+    def test_unknown_label(self):
+        with pytest.raises(KeyError):
+            datasets.get_spec("RS9")
+
+    def test_isf_fractions_in_range(self):
+        for spec in datasets.dataset_specs().values():
+            assert 0.0 <= spec.isf_filter_fraction < 1.0
+
+
+class TestGeneration:
+    def test_deterministic_per_seed(self):
+        a = datasets.generate("RS3", base_genome=5_000, seed=4)
+        b = datasets.generate("RS3", base_genome=5_000, seed=4)
+        assert len(a.read_set) == len(b.read_set)
+        for ra, rb in zip(a.read_set, b.read_set):
+            assert np.array_equal(ra.codes, rb.codes)
+
+    def test_labels_have_distinct_seeds(self):
+        a = datasets.generate("RS1", base_genome=5_000)
+        b = datasets.generate("RS3", base_genome=5_000)
+        assert not np.array_equal(a.reference[:500], b.reference[:500])
+
+    def test_depth_scales_read_count(self):
+        small = datasets.generate("RS3", base_genome=5_000)
+        large = datasets.generate("RS3", base_genome=10_000)
+        ratio = len(large.read_set) / max(1, len(small.read_set))
+        assert 1.6 < ratio < 2.4
+
+    def test_short_sets_fixed_length(self):
+        for label in ("RS1", "RS2", "RS3"):
+            sim = datasets.generate(label, base_genome=4_000)
+            assert sim.read_set.is_fixed_length
+
+    def test_long_sets_variable_length(self):
+        for label in ("RS4", "RS5"):
+            sim = datasets.generate(label, base_genome=8_000)
+            assert not sim.read_set.is_fixed_length
+
+    def test_compressibility_ordering_matches_paper(self):
+        """RS2 (deep, clean) compresses best; RS3 (shallow) worst among
+        the short sets — the Table 2 ordering the analogs are tuned for."""
+        from repro.core import SAGeCompressor, SAGeConfig
+        ratios = {}
+        for label in ("RS2", "RS3"):
+            sim = datasets.generate(label, base_genome=6_000)
+            archive = SAGeCompressor(
+                sim.reference, SAGeConfig(with_quality=False)) \
+                .compress(sim.read_set)
+            ratios[label] = sim.read_set.total_bases \
+                / archive.dna_byte_size()
+        assert ratios["RS2"] > 2 * ratios["RS3"]

@@ -1,0 +1,89 @@
+"""Unit tests for repro.genomics.reads."""
+
+import numpy as np
+import pytest
+
+from repro.genomics import sequence as seq
+from repro.genomics.reads import PHRED_OFFSET, Read, ReadSet
+
+
+def _read(bases="ACGT", qual=None, header="r"):
+    return Read.from_text(bases, qual, header=header)
+
+
+class TestRead:
+    def test_from_text_roundtrip(self):
+        read = _read("ACGTN", "IIII!")
+        assert read.text == "ACGTN"
+        assert read.quality_text == "IIII!"
+        assert len(read) == 5
+
+    def test_quality_length_mismatch(self):
+        with pytest.raises(ValueError):
+            Read(seq.encode("ACGT"), np.array([30], dtype=np.uint8))
+
+    def test_quality_below_offset_rejected(self):
+        with pytest.raises(ValueError):
+            Read.from_text("AC", quality="I\x20")
+
+    def test_no_quality_access(self):
+        with pytest.raises(ValueError):
+            _ = _read("ACG").quality_text
+
+    def test_equality_includes_quality(self):
+        assert _read("ACGT", "IIII") == _read("ACGT", "IIII")
+        assert _read("ACGT", "IIII") != _read("ACGT", "JJJJ")
+        assert _read("ACGT", "IIII") != _read("ACGT")
+        assert _read("ACGT") == _read("ACGT")
+
+    def test_reverse_complement_flips_quality(self):
+        read = _read("AACG", "IJKL")
+        rc = read.reverse_complement()
+        assert rc.text == "CGTT"
+        assert rc.quality_text == "LKJI"
+
+    def test_phred_offset(self):
+        read = _read("A", "!")
+        assert read.quality[0] == 0
+        assert PHRED_OFFSET == 33
+
+
+class TestReadSet:
+    def test_iteration_and_indexing(self):
+        rs = ReadSet([_read("AC"), _read("GT")])
+        assert len(rs) == 2
+        assert [r.text for r in rs] == ["AC", "GT"]
+        assert rs[1].text == "GT"
+
+    def test_append_extend(self):
+        rs = ReadSet()
+        rs.append(_read("A"))
+        rs.extend([_read("C"), _read("G")])
+        assert len(rs) == 3
+
+    def test_has_quality(self):
+        assert ReadSet([_read("AC", "II")]).has_quality
+        assert not ReadSet([_read("AC")]).has_quality
+        assert not ReadSet([_read("AC", "II"), _read("GT")]).has_quality
+        assert not ReadSet().has_quality
+
+    def test_total_bases_and_lengths(self):
+        rs = ReadSet([_read("ACGT"), _read("AC")])
+        assert rs.total_bases == 6
+        assert rs.read_lengths().tolist() == [4, 2]
+
+    def test_fixed_length_detection(self):
+        assert ReadSet([_read("ACGT"), _read("TTTT")]).is_fixed_length
+        assert not ReadSet([_read("ACGT"), _read("AC")]).is_fixed_length
+        assert ReadSet().is_fixed_length
+
+    def test_fastq_size_estimate(self):
+        rs = ReadSet([Read.from_text("ACGT", "IIII", header="x")])
+        # "@x\nACGT\n+\nIIII\n" = 15 bytes
+        assert rs.uncompressed_fastq_bytes() == 15
+
+    def test_subset(self):
+        rs = ReadSet([_read("A"), _read("C"), _read("G")], name="x")
+        sub = rs.subset([2, 0])
+        assert [r.text for r in sub] == ["G", "A"]
+        assert sub.name == "x"

@@ -1,0 +1,144 @@
+"""Unit tests for repro.genomics.simulator."""
+
+import numpy as np
+import pytest
+
+from repro.genomics import sequence as seq
+from repro.genomics.simulator import (QualityModel, ReadSimulator,
+                                      long_read_profile, short_read_profile)
+
+
+def _simulate(profile, n_reads=120, genome=8_000, seed=0):
+    sim = ReadSimulator(profile, np.random.default_rng(seed))
+    return sim.simulate(genome, n_reads)
+
+
+class TestShortReads:
+    def test_fixed_lengths(self):
+        result = _simulate(short_read_profile(clip_rate=0.0))
+        lengths = result.read_set.read_lengths()
+        assert (lengths == 100).all()
+
+    def test_error_rate_in_range(self):
+        profile = short_read_profile(sub_rate=0.01, clip_rate=0.0,
+                                     n_rate=0.0)
+        result = _simulate(profile, n_reads=300)
+        errors = sum(t.n_errors for t in result.truth)
+        bases = result.read_set.total_bases
+        assert 0.004 < errors / bases < 0.025
+
+    def test_zero_error_reads_match_donor(self):
+        profile = short_read_profile(sub_rate=0.0, ins_rate=0.0,
+                                     del_rate=0.0, clip_rate=0.0,
+                                     n_rate=0.0, reverse_fraction=0.0)
+        result = _simulate(profile, n_reads=50)
+        donor = result.donor.sequence
+        for read, truth in zip(result.read_set, result.truth):
+            segment = truth.segments[0]
+            window = donor[segment.donor_start:
+                           segment.donor_start + segment.length]
+            assert np.array_equal(read.codes, window)
+
+    def test_reverse_fraction(self):
+        profile = short_read_profile(reverse_fraction=1.0, clip_rate=0.0)
+        result = _simulate(profile, n_reads=40)
+        assert all(t.reverse for t in result.truth)
+
+    def test_reverse_reads_match_revcomp(self):
+        profile = short_read_profile(sub_rate=0.0, ins_rate=0.0,
+                                     del_rate=0.0, clip_rate=0.0,
+                                     n_rate=0.0, reverse_fraction=1.0)
+        result = _simulate(profile, n_reads=30)
+        donor = result.donor.sequence
+        for read, truth in zip(result.read_set, result.truth):
+            segment = truth.segments[0]
+            window = donor[segment.donor_start:
+                           segment.donor_start + segment.length]
+            assert np.array_equal(read.codes,
+                                  seq.reverse_complement(window))
+
+
+class TestLongReads:
+    def test_variable_lengths_within_bounds(self):
+        profile = long_read_profile(min_length=400, max_length=9_000)
+        result = _simulate(profile, n_reads=60, genome=20_000)
+        lengths = result.read_set.read_lengths()
+        assert lengths.min() >= 400
+        assert lengths.max() <= 9_000
+        assert len(np.unique(lengths)) > 10
+
+    def test_chimeras_have_multiple_segments(self):
+        profile = long_read_profile(chimera_rate=0.9)
+        result = _simulate(profile, n_reads=40, genome=30_000)
+        chimeric = [t for t in result.truth if t.is_chimeric]
+        assert chimeric
+        for truth in chimeric:
+            assert len(truth.segments) >= 2
+
+    def test_clips_recorded(self):
+        profile = long_read_profile(clip_rate=1.0, chimera_rate=0.0)
+        result = _simulate(profile, n_reads=20, genome=20_000)
+        assert any(t.clip_start > 0 for t in result.truth)
+
+    def test_n_bases_marked(self):
+        profile = long_read_profile(n_rate=1.0, chimera_rate=0.0)
+        result = _simulate(profile, n_reads=20, genome=20_000)
+        flagged = [r for r, t in zip(result.read_set, result.truth)
+                   if t.has_n]
+        assert flagged
+        for read in flagged:
+            assert seq.contains_n(read.codes)
+
+    def test_indel_blocks_skew_to_single(self):
+        profile = long_read_profile(chimera_rate=0.0, burst_rate=0.0)
+        sim = ReadSimulator(profile, np.random.default_rng(1))
+        lengths = [sim._indel_block_length() for _ in range(3000)]
+        lengths = np.array(lengths)
+        assert (lengths == 1).mean() > 0.6
+        # Long blocks carry a disproportionate share of bases.
+        long_share = lengths[lengths >= 10].sum() / lengths.sum()
+        assert long_share > 0.4
+
+
+class TestQualityModel:
+    @pytest.mark.parametrize("model", [
+        QualityModel.illumina_binned(), QualityModel.illumina_legacy(),
+        QualityModel.nanopore()])
+    def test_sample_shapes(self, model):
+        rng = np.random.default_rng(0)
+        errors = np.zeros(500, dtype=bool)
+        errors[::10] = True
+        qual = model.sample(500, errors, rng)
+        assert qual.shape == (500,)
+        assert set(np.unique(qual)) <= set(model.levels.tolist())
+
+    def test_errors_get_low_quality(self):
+        model = QualityModel.illumina_binned()
+        rng = np.random.default_rng(0)
+        errors = np.zeros(2000, dtype=bool)
+        errors[:1000] = True
+        qual = model.sample(2000, errors, rng)
+        assert qual[:1000].mean() < qual[1000:].mean()
+
+    def test_quality_attached_to_reads(self):
+        result = _simulate(short_read_profile())
+        assert result.read_set.has_quality
+
+    def test_quality_disabled(self):
+        profile = short_read_profile(with_quality=False)
+        result = _simulate(profile, n_reads=5)
+        assert not result.read_set.has_quality
+
+
+class TestDeterminism:
+    def test_same_seed_same_reads(self):
+        a = _simulate(short_read_profile(), seed=9)
+        b = _simulate(short_read_profile(), seed=9)
+        for ra, rb in zip(a.read_set, b.read_set):
+            assert np.array_equal(ra.codes, rb.codes)
+
+    def test_different_seed_differs(self):
+        a = _simulate(short_read_profile(), seed=1)
+        b = _simulate(short_read_profile(), seed=2)
+        assert any(not np.array_equal(ra.codes, rb.codes)
+                   for ra, rb in zip(a.read_set, b.read_set))

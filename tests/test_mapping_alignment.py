@@ -1,0 +1,145 @@
+"""Unit tests for repro.mapping.alignment."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.genomics import sequence as seq
+from repro.mapping.alignment import (DEL, INS, SUB, apply_ops, global_align,
+                                     prefix_free_align, suffix_free_align)
+
+
+def enc(text):
+    return seq.encode(text)
+
+
+class TestGlobalAlign:
+    def test_identical(self):
+        res = global_align(enc("ACGTACGT"), enc("ACGTACGT"))
+        assert res.cost == 0
+        assert res.ops == []
+
+    def test_single_substitution(self):
+        res = global_align(enc("ACGA"), enc("ACGT"))
+        assert res.cost == 1
+        assert len(res.ops) == 1
+        op = res.ops[0]
+        assert op.kind == SUB and op.read_pos == 3
+        assert op.bases.tolist() == [0]
+
+    def test_insertion_block_merged(self):
+        res = global_align(enc("ACGGGGT"), enc("ACT"))
+        ins_ops = [op for op in res.ops if op.kind == INS]
+        assert sum(op.length for op in ins_ops) == 4
+        assert any(op.length >= 3 for op in ins_ops)
+
+    def test_deletion_block_merged(self):
+        res = global_align(enc("ACT"), enc("ACGGGGT"))
+        del_ops = [op for op in res.ops if op.kind == DEL]
+        assert sum(op.length for op in del_ops) == 4
+
+    def test_empty_read(self):
+        res = global_align(enc(""), enc("ACG"))
+        assert res.cost == 3
+        assert res.ops[0].kind == DEL and res.ops[0].length == 3
+
+    def test_empty_consensus(self):
+        res = global_align(enc("ACG"), enc(""))
+        assert res.cost == 3
+        assert res.ops[0].kind == INS and res.ops[0].length == 3
+
+    def test_reconstruction(self):
+        read, cons = enc("AATTCCGG"), enc("AAGTCCG")
+        res = global_align(read, cons)
+        rebuilt = apply_ops(cons, res.ops, read.size)
+        assert np.array_equal(rebuilt, read)
+
+
+class TestPrefixFreeAlign:
+    def test_finds_offset(self):
+        cons = enc("TTTTTTACGT")
+        res = prefix_free_align(enc("ACGT"), cons)
+        assert res.cost == 0
+        assert res.cons_used_start == 6
+
+    def test_reconstruction_from_offset(self):
+        cons = enc("GGGGGACGTACGT")
+        read = enc("ACGAACGT")
+        res = prefix_free_align(read, cons)
+        window = cons[res.cons_used_start:]
+        rebuilt = apply_ops(window, res.ops, read.size)
+        assert np.array_equal(rebuilt, read)
+
+
+class TestSuffixFreeAlign:
+    def test_ignores_trailing_consensus(self):
+        cons = enc("ACGTTTTTTT")
+        res = suffix_free_align(enc("ACG"), cons)
+        assert res.cost == 0
+        assert res.cons_used_end == 3
+
+    def test_no_trailing_deletions(self):
+        cons = enc("ACGTACGTAA")
+        res = suffix_free_align(enc("ACGT"), cons)
+        assert all(op.kind != DEL or op.read_pos < 4 for op in res.ops)
+        assert res.cost == 0
+
+
+class TestApplyOps:
+    def test_out_of_order_rejected(self):
+        from repro.mapping.alignment import EditOp
+        cons = enc("ACGT")
+        ops = [EditOp(SUB, 2, 1, enc("A")), EditOp(SUB, 0, 1, enc("C"))]
+        # apply_ops sorts, so this must still work.
+        out = apply_ops(cons, ops, 4)
+        assert out.tolist() == [1, 1, 0, 3]
+
+
+@st.composite
+def mutated_pair(draw):
+    """A consensus window and a read derived from it by random edits."""
+    cons_text = draw(st.text(alphabet="ACGT", min_size=20, max_size=80))
+    cons = enc(cons_text)
+    read = list(cons_text)
+    n_edits = draw(st.integers(min_value=0, max_value=5))
+    rng_choices = st.sampled_from("ACGT")
+    for _ in range(n_edits):
+        if not read:
+            break
+        kind = draw(st.sampled_from(["sub", "ins", "del"]))
+        pos = draw(st.integers(min_value=0, max_value=len(read) - 1))
+        if kind == "sub":
+            read[pos] = draw(rng_choices)
+        elif kind == "ins":
+            read.insert(pos, draw(rng_choices))
+        else:
+            read.pop(pos)
+    return enc("".join(read)), cons
+
+
+class TestAlignmentProperties:
+    @settings(max_examples=60, deadline=None)
+    @given(mutated_pair())
+    def test_global_alignment_is_lossless(self, pair):
+        read, cons = pair
+        res = global_align(read, cons)
+        rebuilt = apply_ops(cons, res.ops, read.size)
+        assert np.array_equal(rebuilt, read)
+
+    @settings(max_examples=40, deadline=None)
+    @given(mutated_pair())
+    def test_cost_bounded_by_length_sum(self, pair):
+        read, cons = pair
+        res = global_align(read, cons)
+        assert 0 <= res.cost <= read.size + cons.size
+
+    @settings(max_examples=40, deadline=None)
+    @given(mutated_pair())
+    def test_ops_sorted_and_in_range(self, pair):
+        read, cons = pair
+        res = global_align(read, cons)
+        positions = [op.read_pos for op in res.ops]
+        assert positions == sorted(positions)
+        for op in res.ops:
+            assert 0 <= op.read_pos <= read.size

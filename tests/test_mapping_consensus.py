@@ -1,0 +1,50 @@
+"""Unit tests for de-novo consensus construction."""
+
+import numpy as np
+
+from repro.genomics import sequence as seq
+from repro.mapping import ReadMapper
+from repro.mapping.consensus import denovo_consensus, reference_consensus
+
+
+class TestReferenceMode:
+    def test_passthrough(self):
+        ref = seq.encode("ACGTACGT")
+        assert np.array_equal(reference_consensus(ref), ref)
+
+
+class TestDenovo:
+    def test_recovers_donor_from_clean_reads(self, clean_short_sim):
+        sim = clean_short_sim
+        consensus = denovo_consensus(sim.read_set, k=21)
+        donor = sim.donor.sequence
+        # The greedy walk should recover a contig covering most of the
+        # donor; mapping the donor against it validates content.
+        assert consensus.size > 0.5 * donor.size
+        mapper = ReadMapper(consensus)
+        # Most reads should map with zero mismatches against the contig.
+        zero_cost = 0
+        total = 0
+        for read in sim.read_set.reads[:60]:
+            mapping = mapper.map_read(read.codes)
+            if mapping.unmapped:
+                continue
+            total += 1
+            if mapping.cost == 0:
+                zero_cost += 1
+        assert total > 30
+        assert zero_cost / total > 0.8
+
+    def test_empty_read_set(self):
+        from repro.genomics.reads import ReadSet
+        assert denovo_consensus(ReadSet(), k=15).size == 0
+
+    def test_max_length_respected(self):
+        sim_consensus = None
+        from repro.genomics.reads import Read, ReadSet
+        rng = np.random.default_rng(0)
+        genome = seq.random_sequence(2_000, rng)
+        reads = [Read(genome[i:i + 100].copy())
+                 for i in range(0, 1900, 10)]
+        consensus = denovo_consensus(ReadSet(reads), k=21, max_length=300)
+        assert consensus.size <= 300 + 2 * 21

@@ -1,0 +1,159 @@
+"""Integration tests for the read mapper (seed-chain-extend)."""
+
+import numpy as np
+import pytest
+
+from repro.genomics import sequence as seq
+from repro.genomics.reference import make_reference
+from repro.mapping import MapperConfig, ReadMapper, reconstruct
+from repro.mapping.kmer_index import KmerIndex
+
+
+class TestKmerIndex:
+    def test_lookup_matches_bruteforce(self):
+        rng = np.random.default_rng(0)
+        cons = make_reference(2_000, rng)
+        index = KmerIndex(cons, k=11)
+        read = cons[500:560]
+        hits = index.lookup(read, stride=1)
+        for r, c in zip(hits.read_pos, hits.cons_pos):
+            assert np.array_equal(read[r:r + 11], cons[c:c + 11])
+        # The diagonal hit must be present for every queried k-mer.
+        diag_hits = set(zip(hits.read_pos.tolist(), hits.cons_pos.tolist()))
+        for r in range(60 - 11 + 1):
+            assert (r, 500 + r) in diag_hits
+
+    def test_stride_reduces_queries(self):
+        rng = np.random.default_rng(1)
+        cons = make_reference(2_000, rng)
+        index = KmerIndex(cons, k=11)
+        read = cons[100:200]
+        full = index.lookup(read, stride=1)
+        strided = index.lookup(read, stride=4)
+        assert len(strided) < len(full)
+
+    def test_n_kmers_skipped(self):
+        rng = np.random.default_rng(2)
+        cons = make_reference(1_000, rng)
+        index = KmerIndex(cons, k=11)
+        read = cons[100:150].copy()
+        read[:] = seq.N_CODE
+        assert len(index.lookup(read)) == 0
+
+    def test_repeat_cap(self):
+        cons = np.tile(seq.encode("ACGTACGTACGTACGT"), 100)
+        index = KmerIndex(cons, k=8, max_occurrences=16)
+        hits = index.lookup(cons[:8], stride=1)
+        assert len(hits) <= 16
+
+
+class TestMapperExactness:
+    """The mapper's edit scripts must be lossless, by construction."""
+
+    @pytest.mark.parametrize("fixture", ["rs2_small", "rs4_small"])
+    def test_lossless_on_datasets(self, fixture, request):
+        sim = request.getfixturevalue(fixture)
+        mapper = ReadMapper(sim.reference)
+        for read in sim.read_set.reads[:150]:
+            mapping = mapper.map_read(read.codes)
+            if mapping.unmapped:
+                continue
+            rebuilt = reconstruct(sim.reference, mapping, len(read))
+            assert np.array_equal(rebuilt, read.codes)
+
+    def test_perfect_read_zero_cost(self):
+        rng = np.random.default_rng(3)
+        cons = make_reference(5_000, rng)
+        mapper = ReadMapper(cons)
+        mapping = mapper.map_read(cons[1000:1100])
+        assert not mapping.unmapped
+        assert mapping.cost == 0
+        assert mapping.segments[0].cons_start == 1000
+
+    def test_reverse_complement_detected(self):
+        rng = np.random.default_rng(4)
+        cons = make_reference(5_000, rng)
+        mapper = ReadMapper(cons)
+        mapping = mapper.map_read(
+            seq.reverse_complement(cons[2000:2100]))
+        assert not mapping.unmapped
+        assert mapping.reverse
+
+    def test_random_read_unmapped(self):
+        rng = np.random.default_rng(5)
+        cons = make_reference(5_000, rng)
+        mapper = ReadMapper(cons)
+        mapping = mapper.map_read(seq.random_sequence(100, rng))
+        assert mapping.unmapped
+
+    def test_too_short_read_unmapped(self):
+        rng = np.random.default_rng(6)
+        cons = make_reference(1_000, rng)
+        mapper = ReadMapper(cons)
+        assert mapper.map_read(cons[10:20]).unmapped
+
+
+class TestChimericReads:
+    def test_two_segment_chimera_detected(self):
+        rng = np.random.default_rng(7)
+        cons = make_reference(20_000, rng)
+        read = np.concatenate([cons[1000:2200], cons[15000:16300]])
+        mapper = ReadMapper(cons, MapperConfig(max_segments=3))
+        mapping = mapper.map_read(read)
+        assert not mapping.unmapped
+        assert mapping.is_chimeric
+        rebuilt = reconstruct(cons, mapping, read.size)
+        assert np.array_equal(rebuilt, read)
+        # Far fewer mismatches than the single-position encoding would pay.
+        assert mapping.n_mismatches < 100
+
+    def test_single_segment_mode_absorbs_chimera(self):
+        rng = np.random.default_rng(8)
+        cons = make_reference(20_000, rng)
+        read = np.concatenate([cons[1000:1600], cons[15000:15600]])
+        config = MapperConfig(max_segments=1,
+                              unmapped_cost_fraction=0.90)
+        mapping = ReadMapper(cons, config).map_read(read)
+        assert not mapping.unmapped
+        assert not mapping.is_chimeric
+        rebuilt = reconstruct(cons, mapping, read.size)
+        assert np.array_equal(rebuilt, read)
+        assert mapping.n_mismatches > 50
+
+
+class TestClips:
+    def test_adapter_clip_detected(self):
+        rng = np.random.default_rng(9)
+        cons = make_reference(8_000, rng)
+        adapter = seq.random_sequence(20, rng)
+        read = np.concatenate([adapter, cons[3000:3100]])
+        mapper = ReadMapper(cons)
+        mapping = mapper.map_read(read)
+        assert not mapping.unmapped
+        assert mapping.clip_start.size >= 10
+        rebuilt = reconstruct(cons, mapping, read.size)
+        assert np.array_equal(rebuilt, read)
+
+    def test_tail_clip_detected(self):
+        rng = np.random.default_rng(10)
+        cons = make_reference(8_000, rng)
+        adapter = seq.random_sequence(18, rng)
+        read = np.concatenate([cons[4000:4100], adapter])
+        mapping = ReadMapper(cons).map_read(read)
+        assert not mapping.unmapped
+        rebuilt = reconstruct(cons, mapping, read.size)
+        assert np.array_equal(rebuilt, read)
+
+    def test_long_flank_not_clipped(self):
+        # Flanks beyond clip_max_length stay as mismatches (Fig 17 O3).
+        rng = np.random.default_rng(11)
+        cons = make_reference(8_000, rng)
+        junk = seq.random_sequence(200, rng)
+        read = np.concatenate([cons[4000:4400], junk])
+        config = MapperConfig(max_segments=1,
+                              unmapped_cost_fraction=0.90)
+        mapping = ReadMapper(cons, config).map_read(read)
+        assert not mapping.unmapped
+        assert mapping.clip_end.size == 0
+        rebuilt = reconstruct(cons, mapping, read.size)
+        assert np.array_equal(rebuilt, read)

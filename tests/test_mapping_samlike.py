@@ -1,0 +1,171 @@
+"""Tests for SAM-style rendering of mappings (plus an FTL state machine).
+
+The CIGAR check is an independent validation of the mapper's edit
+scripts: read-consuming CIGAR operations must account for every base of
+every read, on every dataset.
+"""
+
+import numpy as np
+import pytest
+from hypothesis import settings
+from hypothesis import strategies as st
+from hypothesis.stateful import (RuleBasedStateMachine, invariant,
+                                 precondition, rule)
+
+from repro.genomics import sequence as seq
+from repro.genomics.reads import Read
+from repro.genomics.reference import make_reference
+from repro.hardware.ssd import FTLError, NANDConfig, SAGeFTL
+from repro.mapping import MapperConfig, ReadMapper
+from repro.mapping.samlike import (FLAG_REVERSE, FLAG_SUPPLEMENTARY,
+                                   FLAG_UNMAPPED, cigar_read_length,
+                                   to_sam_records)
+
+
+class TestCigar:
+    def setup_method(self):
+        rng = np.random.default_rng(31)
+        self.reference = make_reference(6_000, rng)
+        self.mapper = ReadMapper(self.reference)
+
+    def test_perfect_read_single_match(self):
+        read = Read(self.reference[500:600].copy(), header="r0")
+        records = to_sam_records(read, self.mapper.map_read(read.codes))
+        assert len(records) == 1
+        assert records[0].cigar == "100M"
+        assert records[0].pos == 501
+        assert records[0].flag == 0
+
+    def test_insertion_in_cigar(self):
+        rng = np.random.default_rng(4)
+        codes = np.concatenate([self.reference[1000:1050],
+                                seq.random_sequence(5, rng),
+                                self.reference[1050:1100]])
+        read = Read(codes)
+        records = to_sam_records(read, self.mapper.map_read(codes))
+        assert "I" in records[0].cigar
+        assert cigar_read_length(records[0].cigar) == len(read)
+
+    def test_deletion_in_cigar(self):
+        codes = np.concatenate([self.reference[2000:2050],
+                                self.reference[2058:2108]])
+        read = Read(codes)
+        records = to_sam_records(read, self.mapper.map_read(codes))
+        assert "8D" in records[0].cigar
+
+    def test_reverse_flag(self):
+        codes = seq.reverse_complement(self.reference[3000:3100])
+        records = to_sam_records(Read(codes),
+                                 self.mapper.map_read(codes))
+        assert records[0].flag & FLAG_REVERSE
+
+    def test_unmapped_record(self):
+        rng = np.random.default_rng(5)
+        codes = seq.random_sequence(90, rng)
+        records = to_sam_records(Read(codes),
+                                 self.mapper.map_read(codes))
+        assert records[0].flag & FLAG_UNMAPPED
+        assert records[0].cigar == "*"
+
+    def test_soft_clip_rendered(self):
+        rng = np.random.default_rng(6)
+        adapter = seq.random_sequence(20, rng)
+        codes = np.concatenate([adapter, self.reference[4000:4100]])
+        records = to_sam_records(Read(codes),
+                                 self.mapper.map_read(codes))
+        assert records[0].cigar.split("M")[0].endswith("S") \
+            or records[0].cigar.startswith(f"{20}S") \
+            or "S" in records[0].cigar
+        assert cigar_read_length(records[0].cigar) == codes.size
+
+    def test_chimeric_supplementary_records(self):
+        rng = np.random.default_rng(7)
+        cons = make_reference(20_000, rng)
+        mapper = ReadMapper(cons, MapperConfig(max_segments=3))
+        codes = np.concatenate([cons[1000:2200], cons[15000:16200]])
+        records = to_sam_records(Read(codes), mapper.map_read(codes))
+        assert len(records) == 2
+        assert not records[0].flag & FLAG_SUPPLEMENTARY
+        assert records[1].flag & FLAG_SUPPLEMENTARY
+        for record in records:
+            assert cigar_read_length(record.cigar) == codes.size
+
+    def test_sam_line_has_eleven_columns(self):
+        read = Read(self.reference[100:200].copy(), header="q")
+        record = to_sam_records(read, self.mapper.map_read(read.codes))[0]
+        assert len(record.to_line().split("\t")) == 11
+
+    @pytest.mark.parametrize("fixture", ["rs2_small", "rs4_small"])
+    def test_cigar_accounts_every_base_on_datasets(self, fixture,
+                                                   request):
+        """Dataset-wide invariant: CIGARs consume exactly the read."""
+        sim = request.getfixturevalue(fixture)
+        mapper = ReadMapper(sim.reference)
+        for read in sim.read_set.reads[:80]:
+            mapping = mapper.map_read(read.codes)
+            for record in to_sam_records(read, mapping):
+                if record.cigar != "*":
+                    assert cigar_read_length(record.cigar) == len(read)
+
+
+class FTLMachine(RuleBasedStateMachine):
+    """Randomized write/delete/GC sequences must preserve §5.3 invariants."""
+
+    def __init__(self):
+        super().__init__()
+        nand = NANDConfig(pages_per_block=16, blocks_per_channel=12)
+        self.ftl = SAGeFTL(channels=4, nand=nand)
+        self.live: set[str] = set()
+        self.counter = 0
+
+    @rule(pages=st.integers(min_value=1, max_value=24))
+    def write_genomic(self, pages):
+        name = f"g{self.counter}"
+        self.counter += 1
+        try:
+            self.ftl.write_genomic(name, pages * 16384)
+        except FTLError:
+            return  # device full: acceptable
+        self.live.add(name)
+
+    @precondition(lambda self: self.live)
+    @rule(data=st.data())
+    def delete_one(self, data):
+        name = data.draw(st.sampled_from(sorted(self.live)))
+        self.ftl.delete(name)
+        self.live.discard(name)
+
+    @precondition(lambda self: True)
+    @rule()
+    def gc_some_unit(self):
+        victims = sorted(self.ftl._genomic_blocks)
+        if not victims:
+            return
+        block = victims[0]
+        if self.ftl._stripe_block == block:
+            return  # never GC the active write unit mid-stream
+        try:
+            self.ftl.gc_genomic_unit(block)
+        except FTLError:
+            pass  # no free unit to relocate into: acceptable
+
+    @invariant()
+    def all_live_files_aligned(self):
+        for name in self.live:
+            assert self.ftl.stripe_aligned(name), \
+                f"{name} lost stripe alignment"
+
+    @invariant()
+    def all_live_files_complete(self):
+        for name in self.live:
+            info = self.ftl.files[name]
+            logicals = sorted(
+                self.ftl.blocks[c][b][p].logical_index
+                for c, b, p in info["pages"])
+            assert logicals == list(range(len(logicals)))
+
+
+TestFTLStateMachine = FTLMachine.TestCase
+TestFTLStateMachine.settings = settings(max_examples=25,
+                                        stateful_step_count=30,
+                                        deadline=None)
