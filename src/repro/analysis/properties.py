@@ -9,13 +9,13 @@ delta-encoded matching positions after reordering (Property 6).
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 
 import numpy as np
 
 from ..core.tuning import bit_count_histogram
 from ..genomics.reads import ReadSet
-from ..mapping.alignment import DEL, INS, SUB
+from ..mapping.alignment import DEL, INS
 from ..mapping.mapper import MapperConfig, ReadMapper
 
 

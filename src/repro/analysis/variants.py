@@ -24,7 +24,7 @@ from dataclasses import dataclass, field
 import numpy as np
 
 from ..genomics.reads import ReadSet
-from ..mapping.alignment import DEL, INS, SUB
+from ..mapping.alignment import INS, SUB
 from ..mapping.mapper import MapperConfig, MappingResult, ReadMapper
 
 #: Quality block size in scores.  The paper cites 25 MB blocks on real

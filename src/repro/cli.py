@@ -3,24 +3,35 @@
 Subcommands::
 
     sage compress   input.fastq consensus.txt output.sage [--level O4]
+                    [--workers N] [--block-reads M]
     sage decompress input.sage output.fastq
-    sage inspect    input.sage
+    sage cat        input.sage [--block I] [--output out.fastq]
+    sage inspect    input.sage [--json]
     sage simulate   RS2 output.fastq [--genome 50000] [--ref ref.txt]
 
 The consensus file is plain ACGT text (a reference genome); ``simulate``
 writes one alongside the FASTQ so the two commands compose.
+
+``--block-reads M`` partitions the input into independently decodable
+blocks of ``M`` reads (the v3 container's random-access unit) and streams
+the FASTQ instead of loading it whole; ``--workers N`` compresses blocks
+on ``N`` processes, producing a byte-identical archive.  ``sage cat``
+decodes a single block without touching the rest of the archive.
 """
 
 from __future__ import annotations
 
 import argparse
+import json
 import sys
 from pathlib import Path
 
 import numpy as np
 
-from .core import (OptLevel, SAGeArchive, SAGeCompressor, SAGeConfig,
+from .core import (DEFAULT_BLOCK_READS, BlockCompressor, OptLevel,
+                   SAGeArchive, SAGeCompressor, SAGeConfig,
                    SAGeDecompressor)
+from .core.container import STREAM_NAMES
 from .genomics import datasets, fastq
 from .genomics import sequence as seqmod
 
@@ -31,17 +42,42 @@ def _read_consensus(path: str) -> np.ndarray:
 
 
 def _cmd_compress(args: argparse.Namespace) -> int:
-    read_set = fastq.read_file(args.input)
     consensus = _read_consensus(args.consensus)
     config = SAGeConfig(level=OptLevel[args.level],
                         with_quality=not args.no_quality)
-    archive = SAGeCompressor(consensus, config).compress(read_set)
+    if args.workers < 1:
+        raise SystemExit("--workers must be >= 1")
+    if args.block_reads < 0:
+        raise SystemExit("--block-reads must be >= 0")
+    blocked = args.block_reads > 0 or args.workers > 1
+    if blocked:
+        block_reads = args.block_reads or DEFAULT_BLOCK_READS
+        totals = {"reads": 0, "bases": 0, "fastq": 0}
+
+        def chunks():
+            for chunk in fastq.iter_read_sets(args.input, block_reads):
+                totals["reads"] += len(chunk)
+                totals["bases"] += chunk.total_bases
+                totals["fastq"] += chunk.uncompressed_fastq_bytes()
+                yield chunk
+
+        engine = BlockCompressor(consensus, config,
+                                 block_reads=block_reads,
+                                 workers=args.workers)
+        archive = engine.compress(chunks())
+        original, total_bases = totals["fastq"], totals["bases"]
+    else:
+        read_set = fastq.read_file(args.input)
+        archive = SAGeCompressor(consensus, config).compress(read_set)
+        original = read_set.uncompressed_fastq_bytes()
+        total_bases = read_set.total_bases
     blob = archive.to_bytes()
     Path(args.output).write_bytes(blob)
-    original = read_set.uncompressed_fastq_bytes()
+    block_note = f", {archive.n_blocks} blocks" if blocked else ""
+    dna = max(1, archive.dna_byte_size())
     print(f"{args.input}: {original} B -> {len(blob)} B "
           f"(ratio {original / len(blob):.2f}, "
-          f"DNA ratio {read_set.total_bases / archive.dna_byte_size():.2f})")
+          f"DNA ratio {total_bases / dna:.2f}{block_note})")
     return 0
 
 
@@ -54,17 +90,86 @@ def _cmd_decompress(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_cat(args: argparse.Namespace) -> int:
+    archive = SAGeArchive.from_bytes(Path(args.input).read_bytes())
+    decompressor = SAGeDecompressor(archive)
+    if args.block is not None:
+        if not 0 <= args.block < archive.n_blocks:
+            raise SystemExit(
+                f"block {args.block} out of range "
+                f"(archive has {archive.n_blocks} blocks)")
+        sets = [decompressor.decompress_block(args.block)]
+    else:
+        sets = decompressor.iter_block_read_sets()
+    out = sys.stdout if args.output in (None, "-") \
+        else open(args.output, "w", encoding="ascii")
+    try:
+        for read_set in sets:
+            for i, read in enumerate(read_set):
+                out.write(fastq.format_read(read, i))
+    finally:
+        if out is not sys.stdout:
+            out.close()
+    return 0
+
+
+def _archive_info(archive: SAGeArchive) -> dict:
+    """Machine-readable archive metadata (``inspect --json``)."""
+    index = archive.block_index()
+    streams = {name: archive.stream_bits(name) for name in STREAM_NAMES}
+    first = archive.block(0)
+    info = {
+        "version": archive.source_version,
+        "level": archive.level.name,
+        "n_reads": archive.n_reads,
+        "n_mapped": archive.n_mapped,
+        "n_unmapped": archive.n_unmapped,
+        "consensus_length": archive.consensus_length,
+        "long_reads": archive.long_reads,
+        "fixed_read_length": archive.fixed_read_length
+        if archive.fixed_length else None,
+        "preserve_order": archive.preserve_order,
+        "quality": first.quality is not None,
+        "headers": first.headers_blob is not None,
+        "block_reads": archive.block_reads,
+        "n_blocks": archive.n_blocks,
+        "blocks": [
+            {"index": i, "n_mapped": e.n_mapped,
+             "n_unmapped": e.n_unmapped, "bytes": e.nbytes,
+             "offset": e.offset}
+            for i, e in enumerate(index)],
+        "stream_bits": {name: bits for name, bits in sorted(streams.items())},
+        "tables": {key: list(table.widths)
+                   for key, table in first.tables.items()},
+        "byte_size": archive.byte_size(),
+        "dna_byte_size": archive.dna_byte_size(),
+    }
+    if archive.breakdown.bits:
+        info["breakdown_bits"] = dict(archive.breakdown.bits)
+    return info
+
+
 def _cmd_inspect(args: argparse.Namespace) -> int:
     archive = SAGeArchive.from_bytes(Path(args.input).read_bytes())
+    if args.json:
+        print(json.dumps(_archive_info(archive), indent=2, sort_keys=True))
+        return 0
     print(f"level: {archive.level.name}")
+    print(f"container: v{archive.source_version}, "
+          f"{archive.n_blocks} block(s)")
     print(f"reads: {archive.n_mapped} mapped, "
           f"{archive.n_unmapped} unmapped")
     print(f"consensus: {archive.consensus_length} bases")
     print(f"fixed read length: {archive.fixed_read_length or 'variable'}")
-    print(f"quality: {'yes' if archive.quality else 'no'}")
-    for name, (_, bits) in sorted(archive.streams.items()):
-        print(f"  stream {name:<10} {bits:>12} bits")
-    for key, table in archive.tables.items():
+    print(f"quality: {'yes' if archive.block(0).quality else 'no'}")
+    if archive.is_blocked:
+        for i, entry in enumerate(archive.block_index()):
+            print(f"  block {i:<4} {entry.n_reads:>8} reads "
+                  f"{entry.nbytes:>10} B @ {entry.offset}")
+    for name in sorted(archive.streams if not archive.is_blocked
+                       else ["consensus"]):
+        print(f"  stream {name:<10} {archive.stream_bits(name):>12} bits")
+    for key, table in archive.block(0).tables.items():
         print(f"  table  {key:<10} widths {table.widths}")
     return 0
 
@@ -94,6 +199,11 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--level", default="O4",
                    choices=[lvl.name for lvl in OptLevel])
     p.add_argument("--no-quality", action="store_true")
+    p.add_argument("--workers", type=int, default=1,
+                   help="worker processes for block compression")
+    p.add_argument("--block-reads", type=int, default=0,
+                   help="reads per independently decodable block "
+                        "(0 = single-block archive)")
     p.set_defaults(func=_cmd_compress)
 
     p = sub.add_parser("decompress", help="decompress to FASTQ")
@@ -101,8 +211,18 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("output")
     p.set_defaults(func=_cmd_decompress)
 
+    p = sub.add_parser("cat", help="decode blocks to FASTQ on stdout")
+    p.add_argument("input")
+    p.add_argument("--block", type=int, default=None,
+                   help="decode only this block index")
+    p.add_argument("--output", "-o", default=None,
+                   help="write FASTQ here instead of stdout")
+    p.set_defaults(func=_cmd_cat)
+
     p = sub.add_parser("inspect", help="describe an archive")
     p.add_argument("input")
+    p.add_argument("--json", action="store_true",
+                   help="emit machine-readable JSON metadata")
     p.set_defaults(func=_cmd_inspect)
 
     p = sub.add_parser("simulate", help="generate a synthetic read set")

@@ -1,8 +1,11 @@
 """SAGe core: the paper's compression/decompression contribution (§5)."""
 
-from . import bitio, formats, prefix_codes, quality, tuning
+from . import bitio, blocks, formats, prefix_codes, quality, tuning
+from .blocks import (DEFAULT_BLOCK_READS, BlockCompressor, compress_blocked,
+                     partition_reads)
 from .compressor import CompressionError, SAGeCompressor, SAGeConfig, compress
-from .container import ContainerError, SAGeArchive
+from .container import (BlockIndexEntry, ContainerError, SAGeArchive,
+                        SAGeBlock)
 from .decompressor import DecompressionError, SAGeDecompressor, decompress
 from .formats import OutputFormat
 from .mismatch import CATEGORIES, OptLevel, SizeBreakdown
@@ -10,10 +13,12 @@ from .prefix_codes import AssociationTable
 from .tuning import TuningResult, bit_count_histogram, tune, tune_values
 
 __all__ = [
-    "bitio", "formats", "prefix_codes", "quality", "tuning",
-    "CompressionError", "SAGeCompressor", "SAGeConfig", "compress",
-    "ContainerError", "SAGeArchive", "DecompressionError",
-    "SAGeDecompressor", "decompress", "OutputFormat", "CATEGORIES",
-    "OptLevel", "SizeBreakdown", "AssociationTable", "TuningResult",
-    "bit_count_histogram", "tune", "tune_values",
+    "bitio", "blocks", "formats", "prefix_codes", "quality", "tuning",
+    "DEFAULT_BLOCK_READS", "BlockCompressor", "compress_blocked",
+    "partition_reads", "CompressionError", "SAGeCompressor", "SAGeConfig",
+    "compress", "BlockIndexEntry", "ContainerError", "SAGeArchive",
+    "SAGeBlock", "DecompressionError", "SAGeDecompressor", "decompress",
+    "OutputFormat", "CATEGORIES", "OptLevel", "SizeBreakdown",
+    "AssociationTable", "TuningResult", "bit_count_histogram", "tune",
+    "tune_values",
 ]

@@ -1,0 +1,268 @@
+"""Block-based streaming compression engine.
+
+SAGe's hardware gets its throughput from striping *independent* archive
+sections across SSD channels and decoding them in parallel (§5.3–5.4).
+This module is the software analog: a read stream is partitioned into
+blocks of ``block_reads`` reads, each block is compressed independently
+with the per-read planning/encoding machinery of
+:class:`~repro.core.compressor.SAGeCompressor`, and the resulting
+:class:`~repro.core.container.SAGeBlock` sections are assembled into one
+``VERSION = 3`` :class:`~repro.core.container.SAGeArchive` with a
+top-level block index.
+
+Because blocks are independent, compression parallelizes across worker
+processes — and because each block is a pure function of
+``(consensus, config, reads)`` and results are merged in block order,
+the archive produced with ``workers=N`` is byte-identical to the one
+produced with ``workers=1``.
+
+The engine never materializes the full dataset: it accepts any iterable
+of reads or pre-chunked :class:`~repro.genomics.reads.ReadSet` batches
+(e.g. :func:`repro.genomics.fastq.iter_read_sets`), and keeps at most a
+bounded window of blocks in flight.
+"""
+
+from __future__ import annotations
+
+import warnings
+from collections import deque
+from concurrent.futures import Executor, ProcessPoolExecutor
+from typing import Callable, Iterable, Iterator
+
+import numpy as np
+
+from ..genomics.reads import ReadSet, partition_reads
+from .compressor import SAGeCompressor, SAGeConfig
+from .container import SAGeArchive, SAGeBlock
+from .formats import pack_bits
+from .mismatch import SizeBreakdown
+
+__all__ = ["DEFAULT_BLOCK_READS", "BlockCompressor", "block_from_archive",
+           "compress_blocked", "partition_reads"]
+
+#: Default reads-per-block partition size.  Matches the order of the
+#: paper's per-channel section granularity: large enough that Algorithm-1
+#: tuning sees representative statistics, small enough that a block is a
+#: useful unit of random access and parallelism.
+DEFAULT_BLOCK_READS = 4096
+
+#: Submitted-but-unfinished blocks kept in flight per worker.
+_INFLIGHT_PER_WORKER = 2
+
+#: Per-process compressor memo, keyed by *identity* of the consensus and
+#: config objects (cheap, and both are stable across a run: the parent
+#: passes the engine's own objects; workers receive them once via the
+#: pool initializer).  Reusing the compressor reuses its k-mer index
+#: across blocks instead of rebuilding it per block.
+_chunk_compressor: tuple[np.ndarray, SAGeConfig, SAGeCompressor] | None \
+    = None
+
+#: (consensus, config) installed in each worker by the pool initializer,
+#: so per-chunk submissions ship only the chunk, not the genome.
+_worker_state: tuple[np.ndarray, SAGeConfig] | None = None
+
+
+def _compress_chunk(consensus: np.ndarray, config: SAGeConfig,
+                    chunk: ReadSet) -> SAGeBlock:
+    """Compress one block of reads.
+
+    Pure function of its arguments; determinism here is what makes
+    parallel and serial compression byte-identical.
+    """
+    global _chunk_compressor
+    memo = _chunk_compressor
+    if memo is None or memo[0] is not consensus or memo[1] is not config:
+        memo = (consensus, config, SAGeCompressor(consensus, config))
+        _chunk_compressor = memo
+    archive = memo[2].compress(chunk)
+    return block_from_archive(archive)
+
+
+def _init_worker(consensus: np.ndarray, config: SAGeConfig) -> None:
+    """Pool initializer: receive the shared inputs once per process."""
+    global _worker_state
+    _worker_state = (consensus, config)
+
+
+def _compress_chunk_pooled(chunk: ReadSet) -> SAGeBlock:
+    """Process-pool entry point; reads the initializer-installed state."""
+    assert _worker_state is not None, "worker initializer did not run"
+    consensus, config = _worker_state
+    return _compress_chunk(consensus, config, chunk)
+
+
+def block_from_archive(archive: SAGeArchive) -> SAGeBlock:
+    """Strip a flat archive down to its per-block section."""
+    return archive._as_block()
+
+
+def _imap_bounded(executor: Executor, fn: Callable, items: Iterable,
+                  window: int) -> Iterator:
+    """``executor.map`` with a bounded number of in-flight futures.
+
+    Preserves submission order, so merged results are independent of
+    completion order — and the input iterator is consumed lazily, so a
+    streaming read source is never materialized.
+    """
+    pending: deque = deque()
+    iterator = iter(items)
+    for item in iterator:
+        pending.append(executor.submit(fn, item))
+        if len(pending) >= window:
+            yield pending.popleft().result()
+    while pending:
+        yield pending.popleft().result()
+
+
+class BlockCompressor:
+    """Compresses a read stream into a blocked v3 archive.
+
+    Parameters
+    ----------
+    consensus:
+        The consensus sequence (A/C/G/T codes) all blocks map against.
+    config:
+        Shared :class:`SAGeConfig`; never mutated.
+    block_reads:
+        Reads per block when partitioning a flat read stream.
+    workers:
+        Worker processes for block compression.  ``1`` keeps everything
+        in-process (the deterministic reference path); higher values use
+        a :class:`concurrent.futures.ProcessPoolExecutor` and produce a
+        byte-identical archive.
+    """
+
+    def __init__(self, consensus: np.ndarray,
+                 config: SAGeConfig | None = None, *,
+                 block_reads: int = DEFAULT_BLOCK_READS,
+                 workers: int = 1):
+        if block_reads < 1:
+            raise ValueError("block_reads must be >= 1")
+        if workers < 1:
+            raise ValueError("workers must be >= 1")
+        self.consensus = np.asarray(consensus, dtype=np.uint8)
+        self.config = config or SAGeConfig()
+        self.block_reads = block_reads
+        self.workers = workers
+
+    # ------------------------------------------------------------------
+    # Public API
+    # ------------------------------------------------------------------
+
+    def compress(self, reads: ReadSet | Iterable[ReadSet]) -> SAGeArchive:
+        """Compress a read set or a stream of pre-chunked read sets.
+
+        A :class:`ReadSet` is partitioned into ``block_reads``-sized
+        blocks; any other iterable is treated as already chunked — each
+        yielded :class:`ReadSet` becomes one block (the contract of
+        :func:`repro.genomics.fastq.iter_read_sets`).
+        """
+        if isinstance(reads, ReadSet):
+            name = reads.name
+            chunks: Iterable[ReadSet] = partition_reads(
+                iter(reads), self.block_reads, name=name)
+        else:
+            name = ""
+            chunks = reads
+        blocks, name = self._compress_chunks(chunks, name)
+        return self._assemble(blocks, name)
+
+    # ------------------------------------------------------------------
+    # Internals
+    # ------------------------------------------------------------------
+
+    def _compress_chunks(self, chunks: Iterable[ReadSet],
+                         name: str) -> tuple[list[SAGeBlock], str]:
+        first_names: list[str] = []
+
+        def named(iterable: Iterable[ReadSet]) -> Iterator[ReadSet]:
+            for chunk in iterable:
+                if not first_names and chunk.name:
+                    first_names.append(chunk.name)
+                yield chunk
+
+        source = named(chunks)
+        if self.workers == 1:
+            blocks = [_compress_chunk(self.consensus, self.config, c)
+                      for c in source]
+        else:
+            blocks = self._compress_parallel(source)
+        if not blocks:
+            # An empty input still yields a well-formed one-block archive.
+            blocks = [_compress_chunk(self.consensus, self.config,
+                                      ReadSet([], name=name))]
+        return blocks, name or (first_names[0] if first_names else "")
+
+    def _compress_parallel(self,
+                           chunks: Iterator[ReadSet]) -> list[SAGeBlock]:
+        window = self.workers * _INFLIGHT_PER_WORKER
+        try:
+            executor = ProcessPoolExecutor(
+                max_workers=self.workers, initializer=_init_worker,
+                initargs=(self.consensus, self.config))
+        except (OSError, PermissionError) as exc:   # pragma: no cover
+            warnings.warn(f"process pool unavailable ({exc}); "
+                          "falling back to serial block compression",
+                          RuntimeWarning, stacklevel=3)
+            return [_compress_chunk(self.consensus, self.config, c)
+                    for c in chunks]
+        with executor:
+            return list(_imap_bounded(executor, _compress_chunk_pooled,
+                                      chunks, window))
+
+    def _assemble(self, blocks: list[SAGeBlock],
+                  name: str) -> SAGeArchive:
+        consensus_payload = pack_bits(self.consensus, 2)
+        consensus_stream = (consensus_payload, 8 * len(consensus_payload))
+        fixed_lengths = {b.fixed_read_length for b in blocks
+                         if b.n_reads and b.fixed_length}
+        fixed_length = (all(b.fixed_length for b in blocks)
+                        and len(fixed_lengths) <= 1)
+        fixed_read_length = fixed_lengths.pop() \
+            if (fixed_length and len(fixed_lengths) == 1) else 0
+        w_cons = max(1, int(self.consensus.size).bit_length())
+        archive = SAGeArchive(
+            level=self.config.level,
+            long_reads=any(b.long_reads for b in blocks),
+            fixed_length=fixed_length,
+            fixed_read_length=fixed_read_length,
+            n_mapped=sum(b.n_mapped for b in blocks),
+            n_unmapped=sum(b.n_unmapped for b in blocks),
+            consensus_length=int(self.consensus.size),
+            w_rlen=max(b.w_rlen for b in blocks),
+            w_cons=w_cons, tables={},
+            streams={"consensus": consensus_stream},
+            preserve_order=self.config.preserve_order,
+            blocks=list(blocks), block_reads=self.block_reads,
+            breakdown=_merge_breakdowns(blocks), name=name)
+        archive.breakdown.charge(
+            "header", 8 * archive.header_bytes_estimate())
+        return archive
+
+
+def _merge_breakdowns(blocks: list[SAGeBlock]) -> SizeBreakdown:
+    """Sum per-block Fig. 17 breakdowns into an archive-level one.
+
+    The consensus is stored once in the container, so its bits are
+    counted from the first block only; per-block header charges are
+    dropped (the caller re-charges the real container header).
+    """
+    merged = SizeBreakdown()
+    for i, block in enumerate(blocks):
+        for category, bits in block.breakdown.bits.items():
+            if category == "header":
+                continue
+            if category == "consensus" and i > 0:
+                continue
+            merged.charge(category, bits)
+    return merged
+
+
+def compress_blocked(reads: ReadSet | Iterable[ReadSet],
+                     consensus: np.ndarray,
+                     config: SAGeConfig | None = None, *,
+                     block_reads: int = DEFAULT_BLOCK_READS,
+                     workers: int = 1) -> SAGeArchive:
+    """One-shot convenience wrapper around :class:`BlockCompressor`."""
+    return BlockCompressor(consensus, config, block_reads=block_reads,
+                           workers=workers).compress(reads)

@@ -7,11 +7,15 @@ per read set (Algorithm 1) → emit the array/guide-array streams.
 Every written bit is charged to a Fig. 17 category via
 :class:`~repro.core.mismatch.SizeBreakdown`, and all optimization levels
 NO/O1/O2/O3/O4 are supported so the ablation decodes losslessly too.
+
+:meth:`SAGeCompressor.compress` produces a flat (single-section) archive,
+serialized as a one-block v3 container; :mod:`repro.core.blocks` wraps
+this machinery to build multi-block archives from a read stream.
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass, replace
 
 import numpy as np
 
@@ -116,6 +120,10 @@ class SAGeCompressor:
         if self.consensus.size and self.consensus.max() >= 4:
             raise CompressionError("consensus must be A/C/G/T only")
         self.config = config or SAGeConfig()
+        # Mappers are expensive to build (k-mer index over the consensus);
+        # cache them so repeated compress() calls — the per-block loop of
+        # the streaming engine — reuse the index.
+        self._mapper_cache: dict[tuple, ReadMapper] = {}
 
     # ------------------------------------------------------------------
     # Public API
@@ -153,7 +161,9 @@ class SAGeCompressor:
     # ------------------------------------------------------------------
 
     def _build_mapper(self, level: OptLevel, long_reads: bool) -> ReadMapper:
-        mapper_cfg = self.config.mapper or MapperConfig()
+        # Copy before adjusting: the caller's MapperConfig must not be
+        # mutated (it may be shared across compressors or blocks).
+        mapper_cfg = replace(self.config.mapper or MapperConfig())
         if not (level.chimeric and long_reads):
             mapper_cfg.max_segments = 1
         # Below O3 chimeric reads must stay mapped at their top position
@@ -162,7 +172,13 @@ class SAGeCompressor:
             mapper_cfg.unmapped_cost_fraction = 0.80
         if long_reads:
             mapper_cfg.stride = max(mapper_cfg.stride, 4)
-        return ReadMapper(self.consensus, mapper_cfg)
+        key = (level.chimeric and long_reads, level.chimeric, long_reads)
+        cached = self._mapper_cache.get(key)
+        if cached is not None:
+            return cached
+        mapper = ReadMapper(self.consensus, mapper_cfg)
+        self._mapper_cache[key] = mapper
+        return mapper
 
     def _plan_read(self, read: Read, mapping: MappingResult) -> _ReadPlan:
         cons = self.consensus

@@ -1,10 +1,37 @@
 """SAGe archive container.
 
-A compressed read set is a self-contained byte blob: header (flags, tuned
-Association Tables — the "Array Config. Parameters" loaded into the Scan
-Unit), followed by the consensus and the array streams.  Stream boundaries
-are byte-aligned and listed in a section table so the SSD data layout
-(§5.3) can stripe sections across channels.
+A compressed read set is a self-contained byte blob.  The **version 3**
+layout is block-based, mirroring the SSD data layout of §5.3: a global
+header (flags, consensus stream) is followed by a fixed-size *block
+index* and a sequence of independently decodable *block payloads*.  Each
+block covers a contiguous run of input reads and carries its own tuned
+Association Tables (the "Array Config. Parameters" loaded into the Scan
+Unit), array streams, and quality/header side channels, so any block can
+be decoded in O(1) seek time without touching the others — exactly the
+property the hardware exploits to stripe independent archive sections
+across SSD channels (§5.3–5.4).
+
+Version 2 blobs (the previous monolithic layout) are still read by
+:meth:`SAGeArchive.from_bytes`, and :meth:`SAGeArchive.to_bytes` can
+emit them for flat archives via ``version=2``.
+
+Byte layout (v3)::
+
+    +--------------------------------------------------------------+
+    | global header: magic, version, level, flags, totals,         |
+    |                consensus length, bit widths, n_blocks,       |
+    |                block_reads                                   |
+    +--------------------------------------------------------------+
+    | consensus stream (2-bit packed, stored once)                 |
+    +--------------------------------------------------------------+
+    | block index: n_blocks x (n_mapped, n_unmapped, payload size) |
+    +--------------------------------------------------------------+
+    | block payload 0 | block payload 1 | ... | block payload N-1  |
+    +--------------------------------------------------------------+
+
+Each block payload: per-block flags and bit widths, Association Tables,
+the array streams of §5.1 (without the consensus), then optional quality
+and header blobs for that block's reads.
 """
 
 from __future__ import annotations
@@ -19,24 +46,175 @@ from .mismatch import OptLevel, SizeBreakdown
 from .prefix_codes import AssociationTable
 
 MAGIC = 0x53414745  # "SAGE"
-VERSION = 2
+VERSION = 3
+
+#: Legacy monolithic layout, still readable (and writable on demand).
+V2_VERSION = 2
 
 #: Streams in serialization order.  ``consensus`` is the packed consensus;
 #: the rest are the arrays of §5.1 plus side/corner/unmapped payloads.
 STREAM_NAMES = ("consensus", "mpga", "mpa", "mmpga", "mmpa", "mbta",
                 "side", "corner", "unmapped", "lengths", "order")
 
+#: Per-block streams (everything but the shared consensus).
+BLOCK_STREAM_NAMES = STREAM_NAMES[1:]
+
 #: Table identifiers in serialization order.
 _TABLE_ORDER = ("mp", "count", "mmp", "len", "indel")
+
+#: Bits per v3 block-index entry (n_mapped 40 + n_unmapped 40 + size 32).
+_INDEX_ENTRY_BITS = 112
 
 
 class ContainerError(ValueError):
     """Raised on malformed archives."""
 
 
+@dataclass(frozen=True)
+class BlockIndexEntry:
+    """One entry of the v3 top-level block index."""
+
+    n_mapped: int
+    n_unmapped: int
+    nbytes: int            # serialized payload length
+    offset: int            # payload byte offset within the v3 blob
+
+    @property
+    def n_reads(self) -> int:
+        return self.n_mapped + self.n_unmapped
+
+
+@dataclass
+class SAGeBlock:
+    """One independently decodable section of a v3 archive.
+
+    A block is the unit of parallel compression, random access, and
+    SSD-channel striping.  It is self-contained up to the shared
+    consensus: per-block flags, bit widths, tuned tables, array streams,
+    and optional quality/header blobs for the block's reads.
+    """
+
+    n_mapped: int
+    n_unmapped: int
+    long_reads: bool
+    fixed_length: bool
+    fixed_read_length: int
+    w_rlen: int
+    tables: dict[str, AssociationTable]
+    streams: dict[str, tuple[bytes, int]]     # name -> (payload, bit length)
+    quality: quality_codec.QualityBlob | None = None
+    headers_blob: bytes | None = None
+    # Metadata (not serialized):
+    breakdown: SizeBreakdown = field(default_factory=SizeBreakdown)
+    permutation: np.ndarray = field(
+        default_factory=lambda: np.empty(0, dtype=np.int64))
+
+    @property
+    def n_reads(self) -> int:
+        return self.n_mapped + self.n_unmapped
+
+    # -- serialization -------------------------------------------------
+
+    def _write_meta(self, writer: BitWriter) -> None:
+        writer.write_bit(self.long_reads)
+        writer.write_bit(self.fixed_length)
+        writer.write_bit(self.quality is not None)
+        writer.write_bit(self.headers_blob is not None)
+        writer.write(self.fixed_read_length, 32)
+        writer.write(self.n_mapped, 40)
+        writer.write(self.n_unmapped, 40)
+        writer.write(self.w_rlen, 6)
+        for key in _TABLE_ORDER:
+            present = key in self.tables
+            writer.write_bit(present)
+            if present:
+                self.tables[key].serialize(writer)
+        writer.align_to_byte()
+
+    def meta_nbytes(self) -> int:
+        """Serialized size of the block header (flags + tables)."""
+        writer = BitWriter()
+        self._write_meta(writer)
+        return len(writer.getvalue())
+
+    def serialize(self) -> bytes:
+        """Render the block as an independently decodable payload."""
+        writer = BitWriter()
+        self._write_meta(writer)
+        for name in BLOCK_STREAM_NAMES:
+            payload, bits = self.streams[name]
+            writer.write(bits, 40)
+            writer.write(len(payload), 24)
+            writer.align_to_byte()
+            writer.write_bytes(payload)
+        if self.quality is not None:
+            writer.write(len(self.quality.payload), 40)
+            writer.write(self.quality.n_scores, 40)
+            writer.align_to_byte()
+            writer.write_bytes(self.quality.payload)
+        if self.headers_blob is not None:
+            writer.write(len(self.headers_blob), 40)
+            writer.align_to_byte()
+            writer.write_bytes(self.headers_blob)
+        return writer.getvalue()
+
+    @classmethod
+    def deserialize(cls, payload: bytes) -> "SAGeBlock":
+        """Parse one block payload written by :meth:`serialize`."""
+        reader = BitReader(payload)
+        long_reads = bool(reader.read_bit())
+        fixed_length = bool(reader.read_bit())
+        has_quality = bool(reader.read_bit())
+        has_headers = bool(reader.read_bit())
+        fixed_read_length = reader.read(32)
+        n_mapped = reader.read(40)
+        n_unmapped = reader.read(40)
+        w_rlen = reader.read(6)
+        tables: dict[str, AssociationTable] = {}
+        for key in _TABLE_ORDER:
+            if reader.read_bit():
+                tables[key] = AssociationTable.deserialize(reader)
+        reader.align_to_byte()
+        streams: dict[str, tuple[bytes, int]] = {}
+        for name in BLOCK_STREAM_NAMES:
+            bits = reader.read(40)
+            nbytes = reader.read(24)
+            reader.align_to_byte()
+            streams[name] = (reader.read_bytes(nbytes), bits)
+        quality = None
+        if has_quality:
+            nbytes = reader.read(40)
+            n_scores = reader.read(40)
+            reader.align_to_byte()
+            quality = quality_codec.QualityBlob(reader.read_bytes(nbytes),
+                                                n_scores)
+        headers_blob = None
+        if has_headers:
+            nbytes = reader.read(40)
+            reader.align_to_byte()
+            headers_blob = reader.read_bytes(nbytes)
+        return cls(n_mapped=n_mapped, n_unmapped=n_unmapped,
+                   long_reads=long_reads, fixed_length=fixed_length,
+                   fixed_read_length=fixed_read_length, w_rlen=w_rlen,
+                   tables=tables, streams=streams, quality=quality,
+                   headers_blob=headers_blob)
+
+
 @dataclass
 class SAGeArchive:
-    """An in-memory SAGe-compressed read set."""
+    """An in-memory SAGe-compressed read set.
+
+    Two shapes share this class:
+
+    - **flat** (``blocks`` empty): a single-section archive, as produced
+      by :meth:`repro.core.compressor.SAGeCompressor.compress`.  The
+      top-level ``streams``/``tables``/``quality`` hold the payload.
+    - **blocked** (``blocks`` non-empty): a multi-section v3 archive from
+      :class:`repro.core.blocks.BlockCompressor` or a v3 blob.  The
+      top-level ``streams`` hold only the shared consensus; per-section
+      data lives in :class:`SAGeBlock` entries, parsed lazily from the
+      source blob so random access to block *i* touches only its bytes.
+    """
 
     level: OptLevel
     long_reads: bool
@@ -52,52 +230,250 @@ class SAGeArchive:
     quality: quality_codec.QualityBlob | None = None
     preserve_order: bool = False              # "order" stream present
     headers_blob: bytes | None = None         # compressed read headers
+    #: Parsed per-block sections; entries may be ``None`` until lazily
+    #: parsed from the source blob (blocked archives only).
+    blocks: list[SAGeBlock | None] = field(default_factory=list)
+    #: Configured reads-per-block partition size (0 = monolithic).
+    block_reads: int = 0
     # Metadata (not serialized):
     breakdown: SizeBreakdown = field(default_factory=SizeBreakdown)
     permutation: np.ndarray = field(
         default_factory=lambda: np.empty(0, dtype=np.int64))
     name: str = ""
+    #: Container version this archive was loaded from (3 when built).
+    source_version: int = VERSION
+
+    def __post_init__(self) -> None:
+        self._source_blob: bytes | None = None
+        self._index: list[BlockIndexEntry] | None = None
 
     # ------------------------------------------------------------------
-    # Sizes
+    # Block access
     # ------------------------------------------------------------------
+
+    @property
+    def is_blocked(self) -> bool:
+        """True for multi-section archives (see class docstring)."""
+        return bool(self.blocks)
+
+    @property
+    def n_blocks(self) -> int:
+        """Number of independently decodable sections (>= 1)."""
+        return len(self.blocks) if self.blocks else 1
 
     @property
     def n_reads(self) -> int:
         return self.n_mapped + self.n_unmapped
 
-    def header_bytes_estimate(self) -> int:
-        """Serialized header size (computed exactly by serializing)."""
+    def _as_block(self) -> SAGeBlock:
+        """View a flat archive's payload as a single block."""
+        streams = {name: self.streams[name] for name in BLOCK_STREAM_NAMES}
+        return SAGeBlock(
+            n_mapped=self.n_mapped, n_unmapped=self.n_unmapped,
+            long_reads=self.long_reads, fixed_length=self.fixed_length,
+            fixed_read_length=self.fixed_read_length, w_rlen=self.w_rlen,
+            tables=self.tables, streams=streams, quality=self.quality,
+            headers_blob=self.headers_blob, breakdown=self.breakdown,
+            permutation=self.permutation)
+
+    def block(self, index: int) -> SAGeBlock:
+        """Section ``index``, parsing it from the source blob on demand."""
+        if not self.blocks:
+            if index == 0:
+                return self._as_block()
+            raise ContainerError(
+                f"block {index} out of range for a single-block archive")
+        if not 0 <= index < len(self.blocks):
+            raise ContainerError(
+                f"block {index} out of range (archive has "
+                f"{len(self.blocks)} blocks)")
+        parsed = self.blocks[index]
+        if parsed is None:
+            entry = self.block_index()[index]
+            if self._source_blob is None:
+                raise ContainerError(f"block {index} has no payload")
+            payload = self._source_blob[entry.offset:
+                                        entry.offset + entry.nbytes]
+            parsed = SAGeBlock.deserialize(payload)
+            self.blocks[index] = parsed
+        return parsed
+
+    def block_view(self, index: int) -> "SAGeArchive":
+        """A flat single-section archive exposing only block ``index``.
+
+        The view shares the global consensus stream and metadata with
+        this archive; decoding it touches no other block's streams.
+        """
+        if not self.blocks:
+            if index == 0:
+                return self
+            raise ContainerError(
+                f"block {index} out of range for a single-block archive")
+        blk = self.block(index)
+        streams = dict(blk.streams)
+        streams["consensus"] = self.streams["consensus"]
+        return SAGeArchive(
+            level=self.level, long_reads=blk.long_reads,
+            fixed_length=blk.fixed_length,
+            fixed_read_length=blk.fixed_read_length,
+            n_mapped=blk.n_mapped, n_unmapped=blk.n_unmapped,
+            consensus_length=self.consensus_length, w_rlen=blk.w_rlen,
+            w_cons=self.w_cons, tables=blk.tables, streams=streams,
+            quality=blk.quality, preserve_order=self.preserve_order,
+            headers_blob=blk.headers_blob, breakdown=blk.breakdown,
+            permutation=blk.permutation, name=self.name,
+            source_version=self.source_version)
+
+    def block_index(self) -> list[BlockIndexEntry]:
+        """The top-level index: per-block read counts and payload sizes.
+
+        Offsets always locate the payload within the serialized v3 blob
+        (:meth:`to_bytes`), whether the archive was loaded from bytes or
+        built in memory.
+        """
+        if self._index is not None:
+            return self._index
         writer = BitWriter()
-        self._write_header(writer)
-        return len(writer.getvalue())
+        self._write_global_header(writer)
+        offset = (len(writer.getvalue()) + 8      # consensus framing
+                  + len(self.streams["consensus"][0])
+                  + (_INDEX_ENTRY_BITS // 8) * self.n_blocks)
+        entries: list[BlockIndexEntry] = []
+        for i in range(self.n_blocks):
+            payload = self.block_payload(i)
+            blk = self.block(i)
+            entries.append(BlockIndexEntry(blk.n_mapped, blk.n_unmapped,
+                                           len(payload), offset))
+            offset += len(payload)
+        self._index = entries
+        return entries
+
+    def block_payload(self, index: int) -> bytes:
+        """Raw serialized payload of block ``index``.
+
+        Uses the source blob's bytes when the archive was loaded from
+        disk (no re-serialization), which also guarantees byte-stable
+        round trips.
+        """
+        if (self._source_blob is not None and self._index is not None
+                and self.blocks and self.blocks[index] is None):
+            entry = self._index[index]
+            return self._source_blob[entry.offset:
+                                     entry.offset + entry.nbytes]
+        return self.block(index).serialize()
+
+    # ------------------------------------------------------------------
+    # Sizes
+    # ------------------------------------------------------------------
+
+    def _parsed_blocks(self) -> list[SAGeBlock]:
+        return [self.block(i) for i in range(self.n_blocks)]
+
+    def header_bytes_estimate(self) -> int:
+        """Serialized size of all header material (global + per block).
+
+        Covers the global header, the consensus stream framing, the
+        block index, and per-block headers (flags + tables) — everything
+        that is not stream/quality/header payload bytes.
+        """
+        writer = BitWriter()
+        self._write_global_header(writer)
+        total = len(writer.getvalue())
+        total += 8                                   # consensus framing
+        total += (_INDEX_ENTRY_BITS // 8) * self.n_blocks
+        total += sum(b.meta_nbytes() for b in self._parsed_blocks())
+        return total
 
     def dna_byte_size(self) -> int:
         """Compressed size of the DNA payload (everything but quality)."""
-        header = self.header_bytes_estimate()
-        body = sum((bits + 7) // 8 for _, bits in self.streams.values())
-        table = 8 * len(self.streams)  # section table entries
-        return header + table + body
+        total = self.header_bytes_estimate()
+        payload, _ = self.streams["consensus"]
+        total += len(payload)
+        for blk in self._parsed_blocks():
+            for name in BLOCK_STREAM_NAMES:
+                _, bits = blk.streams[name]
+                total += 8 + (bits + 7) // 8         # framing + payload
+        return total
 
     def byte_size(self) -> int:
         """Total archive size including quality and header streams."""
         total = self.dna_byte_size()
-        if self.quality is not None:
-            total += self.quality.byte_size + 8
-        if self.headers_blob is not None:
-            total += len(self.headers_blob) + 5
+        for blk in self._parsed_blocks():
+            if blk.quality is not None:
+                total += blk.quality.byte_size + 10
+            if blk.headers_blob is not None:
+                total += len(blk.headers_blob) + 5
         return total
 
     def stream_bits(self, name: str) -> int:
-        return self.streams[name][1]
+        """Total bits of stream ``name`` summed across blocks."""
+        if not self.blocks:
+            return self.streams[name][1]
+        if name == "consensus":
+            return self.streams["consensus"][1]
+        return sum(b.streams[name][1] for b in self._parsed_blocks())
 
     # ------------------------------------------------------------------
     # Serialization
     # ------------------------------------------------------------------
 
-    def _write_header(self, writer: BitWriter) -> None:
+    def _write_global_header(self, writer: BitWriter) -> None:
         writer.write(MAGIC, 32)
         writer.write(VERSION, 8)
+        writer.write(int(self.level), 4)
+        writer.write_bit(self.long_reads)
+        writer.write_bit(self.fixed_length)
+        writer.write_bit(self.preserve_order)
+        writer.write(self.fixed_read_length, 32)
+        writer.write(self.n_mapped, 40)
+        writer.write(self.n_unmapped, 40)
+        writer.write(self.consensus_length, 40)
+        writer.write(self.w_rlen, 6)
+        writer.write(self.w_cons, 6)
+        writer.write(self.n_blocks, 32)
+        writer.write(self.block_reads, 32)
+        writer.align_to_byte()
+
+    def to_bytes(self, version: int = VERSION) -> bytes:
+        """Serialize the archive to a byte blob.
+
+        ``version=2`` writes the legacy monolithic layout (flat archives
+        only); the default writes the block-based v3 layout, wrapping a
+        flat archive as a single block.
+        """
+        if version == V2_VERSION:
+            if self.is_blocked:
+                raise ContainerError(
+                    "blocked archives cannot be written as version 2")
+            return self._to_bytes_v2()
+        if version != VERSION:
+            raise ContainerError(f"cannot write version {version}")
+        writer = BitWriter()
+        self._write_global_header(writer)
+        payload, bits = self.streams["consensus"]
+        writer.write(bits, 40)
+        writer.write(len(payload), 24)
+        writer.align_to_byte()
+        writer.write_bytes(payload)
+        payloads = [self.block_payload(i) for i in range(self.n_blocks)]
+        for i, blob in enumerate(payloads):
+            if self._index is not None:
+                entry = self._index[i]
+                counts = (entry.n_mapped, entry.n_unmapped)
+            else:
+                blk = self.block(i)
+                counts = (blk.n_mapped, blk.n_unmapped)
+            writer.write(counts[0], 40)
+            writer.write(counts[1], 40)
+            writer.write(len(blob), 32)
+        for blob in payloads:
+            writer.write_bytes(blob)
+        return writer.getvalue()
+
+    def _to_bytes_v2(self) -> bytes:
+        writer = BitWriter()
+        writer.write(MAGIC, 32)
+        writer.write(V2_VERSION, 8)
         writer.write(int(self.level), 4)
         writer.write_bit(self.long_reads)
         writer.write_bit(self.fixed_length)
@@ -116,11 +492,6 @@ class SAGeArchive:
             if present:
                 self.tables[key].serialize(writer)
         writer.align_to_byte()
-
-    def to_bytes(self) -> bytes:
-        """Serialize the archive to a byte blob."""
-        writer = BitWriter()
-        self._write_header(writer)
         for name in STREAM_NAMES:
             payload, bits = self.streams[name]
             writer.write(bits, 40)
@@ -140,13 +511,90 @@ class SAGeArchive:
 
     @classmethod
     def from_bytes(cls, blob: bytes) -> "SAGeArchive":
-        """Deserialize an archive previously written by :meth:`to_bytes`."""
+        """Deserialize an archive written by :meth:`to_bytes` (v2 or v3)."""
         reader = BitReader(blob)
         if reader.read(32) != MAGIC:
             raise ContainerError("bad magic; not a SAGe archive")
         version = reader.read(8)
-        if version != VERSION:
-            raise ContainerError(f"unsupported version {version}")
+        if version == V2_VERSION:
+            return cls._from_bytes_v2(reader)
+        if version == VERSION:
+            return cls._from_bytes_v3(reader, blob)
+        raise ContainerError(f"unsupported version {version}")
+
+    @classmethod
+    def _from_bytes_v3(cls, reader: BitReader,
+                       blob: bytes) -> "SAGeArchive":
+        level = OptLevel(reader.read(4))
+        long_reads = bool(reader.read_bit())
+        fixed_length = bool(reader.read_bit())
+        preserve_order = bool(reader.read_bit())
+        fixed_read_length = reader.read(32)
+        n_mapped = reader.read(40)
+        n_unmapped = reader.read(40)
+        consensus_length = reader.read(40)
+        w_rlen = reader.read(6)
+        w_cons = reader.read(6)
+        n_blocks = reader.read(32)
+        block_reads = reader.read(32)
+        reader.align_to_byte()
+        if n_blocks < 1:
+            raise ContainerError("archive has no blocks")
+        bits = reader.read(40)
+        nbytes = reader.read(24)
+        reader.align_to_byte()
+        consensus = (reader.read_bytes(nbytes), bits)
+        raw_index: list[tuple[int, int, int]] = []
+        for _ in range(n_blocks):
+            blk_mapped = reader.read(40)
+            blk_unmapped = reader.read(40)
+            blk_nbytes = reader.read(32)
+            raw_index.append((blk_mapped, blk_unmapped, blk_nbytes))
+        base = reader.position // 8
+        index: list[BlockIndexEntry] = []
+        offset = base
+        for blk_mapped, blk_unmapped, blk_nbytes in raw_index:
+            if offset + blk_nbytes > len(blob):
+                raise ContainerError("block index overruns the archive")
+            index.append(BlockIndexEntry(blk_mapped, blk_unmapped,
+                                         blk_nbytes, offset))
+            offset += blk_nbytes
+
+        if n_blocks == 1:
+            # Flat-compatible shape: expose the single block's payload
+            # through the top-level fields, as a v2 load would.
+            entry = index[0]
+            blk = SAGeBlock.deserialize(
+                blob[entry.offset:entry.offset + entry.nbytes])
+            streams = dict(blk.streams)
+            streams["consensus"] = consensus
+            return cls(level=level, long_reads=blk.long_reads,
+                       fixed_length=blk.fixed_length,
+                       fixed_read_length=blk.fixed_read_length,
+                       n_mapped=blk.n_mapped, n_unmapped=blk.n_unmapped,
+                       consensus_length=consensus_length,
+                       w_rlen=blk.w_rlen, w_cons=w_cons,
+                       tables=blk.tables, streams=streams,
+                       quality=blk.quality, preserve_order=preserve_order,
+                       headers_blob=blk.headers_blob,
+                       block_reads=block_reads, source_version=VERSION)
+
+        archive = cls(level=level, long_reads=long_reads,
+                      fixed_length=fixed_length,
+                      fixed_read_length=fixed_read_length,
+                      n_mapped=n_mapped, n_unmapped=n_unmapped,
+                      consensus_length=consensus_length, w_rlen=w_rlen,
+                      w_cons=w_cons, tables={},
+                      streams={"consensus": consensus},
+                      preserve_order=preserve_order,
+                      blocks=[None] * n_blocks, block_reads=block_reads,
+                      source_version=VERSION)
+        archive._source_blob = blob
+        archive._index = index
+        return archive
+
+    @classmethod
+    def _from_bytes_v2(cls, reader: BitReader) -> "SAGeArchive":
         level = OptLevel(reader.read(4))
         long_reads = bool(reader.read_bit())
         fixed_length = bool(reader.read_bit())
@@ -191,4 +639,4 @@ class SAGeArchive:
                    w_rlen=w_rlen, w_cons=w_cons, tables=tables,
                    streams=streams, quality=quality,
                    preserve_order=preserve_order,
-                   headers_blob=headers_blob)
+                   headers_blob=headers_blob, source_version=V2_VERSION)

@@ -10,6 +10,11 @@ and RCU operate concurrently in hardware.
 
 The hardware functional model (:mod:`repro.hardware.sage_units`) wraps
 this decoder with cycle/byte accounting and must produce identical output.
+
+Blocked (v3) archives decode per independent section: decoding block *i*
+via :meth:`SAGeDecompressor.decompress_block` touches only that block's
+streams plus the shared consensus — the software analog of per-channel
+parallel decode (§5.3).
 """
 
 from __future__ import annotations
@@ -36,17 +41,30 @@ class DecompressionError(ValueError):
 class SAGeDecompressor:
     """Decodes a :class:`SAGeArchive` back into reads."""
 
-    def __init__(self, archive: SAGeArchive):
+    def __init__(self, archive: SAGeArchive, *,
+                 consensus: np.ndarray | None = None):
         self.archive = archive
-        self.consensus = unpack_bits(archive.streams["consensus"][0], 2,
-                                     archive.consensus_length)
+        # ``consensus`` lets per-block decoders reuse the parent's
+        # already-unpacked consensus instead of unpacking it per block.
+        if consensus is None:
+            consensus = unpack_bits(archive.streams["consensus"][0], 2,
+                                    archive.consensus_length)
+        self.consensus = consensus
 
     # ------------------------------------------------------------------
     # Public API
     # ------------------------------------------------------------------
 
     def decompress(self) -> ReadSet:
-        """Decode every read (and quality scores, if present)."""
+        """Decode every read (and quality scores, if present).
+
+        Blocked (v3 multi-section) archives are decoded block by block
+        in index order; each block restores its own within-block order,
+        so the concatenation reproduces the original read order whenever
+        ``preserve_order`` was set at compression time.
+        """
+        if self.archive.is_blocked:
+            return self._decompress_blocked()
         codes = list(self.iter_read_codes())
         qualities: list[np.ndarray | None] = [None] * len(codes)
         if self.archive.quality is not None:
@@ -74,6 +92,46 @@ class SAGeDecompressor:
         if self.archive.preserve_order:
             reads = self._restore_order(reads)
         return ReadSet(reads, name=name)
+
+    # ------------------------------------------------------------------
+    # Blocked (v3) archives: partial and streaming decompression
+    # ------------------------------------------------------------------
+
+    def decompress_block(self, index: int) -> ReadSet:
+        """Decode only block ``index`` of the archive.
+
+        Random access: the block view shares the consensus stream but
+        reads no other block's streams, mirroring the per-channel
+        independent decode of §5.3.  On a flat archive only block 0
+        exists and equals the whole read set.
+        """
+        arch = self.archive
+        view = arch.block_view(index)
+        decoded = SAGeDecompressor(view,
+                                   consensus=self.consensus).decompress()
+        if arch.is_blocked and view.headers_blob is None:
+            # Offset the fallback header enumeration by the preceding
+            # blocks' read counts (known from the index alone) so partial
+            # decodes carry globally unique headers.
+            base = sum(entry.n_reads
+                       for entry in arch.block_index()[:index])
+            name = arch.name or "sage"
+            decoded = ReadSet(
+                [Read(codes=r.codes, quality=r.quality,
+                      header=f"{name}.{base + i}")
+                 for i, r in enumerate(decoded)], name=name)
+        return decoded
+
+    def iter_block_read_sets(self) -> Iterator[ReadSet]:
+        """Yield each block's reads in index order (streaming decode)."""
+        for index in range(self.archive.n_blocks):
+            yield self.decompress_block(index)
+
+    def _decompress_blocked(self) -> ReadSet:
+        reads: list[Read] = []
+        for block_set in self.iter_block_read_sets():
+            reads.extend(block_set)
+        return ReadSet(reads, name=self.archive.name or "sage")
 
     def _restore_order(self, reads: list[Read]) -> list[Read]:
         """Invert the matching-position reordering (extension)."""
@@ -103,6 +161,10 @@ class SAGeDecompressor:
         instrumented readers; they must wrap the same streams.
         """
         arch = self.archive
+        if arch.is_blocked:
+            raise DecompressionError(
+                "blocked archive: decode per block via decompress_block()"
+                " / iter_block_read_sets()")
         if readers is None:
             readers = self.make_readers()
         prev_cons = 0

@@ -12,7 +12,7 @@ import io
 from pathlib import Path
 from typing import Iterator, TextIO
 
-from .reads import Read, ReadSet
+from .reads import Read, ReadSet, partition_reads
 
 
 class FastqError(ValueError):
@@ -52,6 +52,20 @@ def read_file(path: str | Path) -> ReadSet:
     with open(path, "r", encoding="ascii") as handle:
         reads = list(parse_stream(handle))
     return ReadSet(reads, name=Path(path).stem)
+
+
+def iter_read_sets(path: str | Path,
+                   block_reads: int) -> Iterator[ReadSet]:
+    """Stream a FASTQ file as :class:`ReadSet` chunks of ``block_reads``.
+
+    Never materializes the full dataset: at most one chunk of reads is
+    held in memory.  This is the input contract of the block-based
+    compression engine (:class:`repro.core.blocks.BlockCompressor`) —
+    each yielded chunk becomes one independently decodable block.
+    """
+    with open(path, "r", encoding="ascii") as handle:
+        yield from partition_reads(parse_stream(handle), block_reads,
+                                   name=Path(path).stem)
 
 
 def format_read(read: Read, index: int = 0) -> str:

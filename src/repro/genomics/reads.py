@@ -146,3 +146,24 @@ class ReadSet:
         """New read set containing the selected reads (shared arrays)."""
         picked = [self.reads[i] for i in indices]
         return ReadSet(picked, name=self.name)
+
+
+def partition_reads(reads: Iterable[Read], block_reads: int,
+                    name: str = "") -> Iterator[ReadSet]:
+    """Chunk a read stream into :class:`ReadSet` blocks in input order.
+
+    The shared chunker behind streaming FASTQ input
+    (:func:`repro.genomics.fastq.iter_read_sets`) and the block-based
+    compression engine (:class:`repro.core.blocks.BlockCompressor`):
+    at most one ``block_reads``-sized chunk is held in memory.
+    """
+    if block_reads < 1:
+        raise ValueError("block_reads must be >= 1")
+    chunk: list[Read] = []
+    for read in reads:
+        chunk.append(read)
+        if len(chunk) == block_reads:
+            yield ReadSet(chunk, name=name)
+            chunk = []
+    if chunk:
+        yield ReadSet(chunk, name=name)

@@ -17,8 +17,6 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Iterator
 
-import numpy as np
-
 from ..core.container import SAGeArchive
 from ..core.formats import OutputFormat, bits_per_base, encode_output
 from ..genomics.reads import ReadSet
@@ -128,10 +126,20 @@ class SAGeDevice:
         if archive is None:
             raise DeviceError(f"no genomic file {name!r}")
         from ..core.decompressor import SAGeDecompressor
-        decoder = SAGeDecompressor(archive)
-        batch: list = []
         from ..genomics.reads import Read
-        for i, codes in enumerate(decoder.iter_read_codes()):
+
+        def iter_codes():
+            if archive.is_blocked:
+                # Decode section by section: the blocks are the SSD's
+                # natural streaming unit (§5.3).
+                for index in range(archive.n_blocks):
+                    view = archive.block_view(index)
+                    yield from SAGeDecompressor(view).iter_read_codes()
+            else:
+                yield from SAGeDecompressor(archive).iter_read_codes()
+
+        batch: list = []
+        for i, codes in enumerate(iter_codes()):
             batch.append(Read(codes, header=f"{name}.{i}"))
             if len(batch) >= batch_reads:
                 yield ReadSet(batch, name=name)

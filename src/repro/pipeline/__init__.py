@@ -5,15 +5,18 @@ from .accelerators import (AnalysisAccelerator, ISFModel, gem,
                            measure_filter_fraction, software_mapper)
 from .configs import (PREP_ORDER, PREP_TOOLS, DatasetModel,
                       dataset_from_paper, paper_dataset_models)
-from .endtoend import (EndToEndResult, SystemConfig, build_stages,
-                       evaluate, geometric_mean, speedup_over)
+from .endtoend import (MAX_SIM_BATCHES, EndToEndResult, SystemConfig,
+                       batches_for_dataset, batches_from_archive,
+                       build_stages, evaluate, geometric_mean,
+                       speedup_over)
 from .stages import PipelineResult, Stage, simulate_pipeline
 
 __all__ = [
     "accelerators", "configs", "endtoend", "stages",
     "AnalysisAccelerator", "ISFModel", "gem", "measure_filter_fraction",
     "software_mapper", "PREP_ORDER", "PREP_TOOLS", "DatasetModel",
-    "dataset_from_paper", "paper_dataset_models", "EndToEndResult",
-    "SystemConfig", "build_stages", "evaluate", "geometric_mean",
+    "dataset_from_paper", "paper_dataset_models", "MAX_SIM_BATCHES",
+    "EndToEndResult", "SystemConfig", "batches_for_dataset",
+    "batches_from_archive", "build_stages", "evaluate", "geometric_mean",
     "speedup_over", "PipelineResult", "Stage", "simulate_pipeline",
 ]

@@ -9,11 +9,14 @@ mapping) compose directly.
 
 from __future__ import annotations
 
+import math
 from dataclasses import dataclass, field
 
+from ..core.blocks import DEFAULT_BLOCK_READS
+from ..core.container import SAGeArchive
 from ..hardware import energy as energy_mod
-from ..hardware.energy import (ANALYSIS_ACC, BWT_ACC, HOST_CPU, HOST_DRAM,
-                               SAGE_LOGIC, EnergyLedger)
+from ..hardware.energy import (BWT_ACC, HOST_CPU, HOST_DRAM, SAGE_LOGIC,
+                               EnergyLedger)
 from ..hardware.ssd import SSDModel, pcie_ssd
 from .accelerators import AnalysisAccelerator, ISFModel, gem
 from .configs import PREP_TOOLS, DatasetModel, PrepTool
@@ -127,11 +130,50 @@ def build_stages(prep_name: str, dataset: DatasetModel,
     raise KeyError(f"unknown prep configuration {prep_name!r}")
 
 
+#: Upper bound on simulated batches: beyond this the pipeline recurrence
+#: has long since converged to the bottleneck rate, and simulation cost
+#: would scale with archive size for no fidelity gain.
+MAX_SIM_BATCHES = 256
+
+
+def batches_from_archive(archive: SAGeArchive) -> int:
+    """Pipeline batch count of a real archive: one batch per block.
+
+    The v3 container's independently decodable blocks are exactly the
+    units that stream through the I/O → prep → analysis pipeline, so the
+    simulator's ``n_batches`` is the archive's block count rather than a
+    free parameter.
+    """
+    return max(1, min(MAX_SIM_BATCHES, archive.n_blocks))
+
+
+def batches_for_dataset(dataset: DatasetModel,
+                        block_reads: int = DEFAULT_BLOCK_READS) -> int:
+    """Batch count a modeled dataset would have once block-compressed.
+
+    Mirrors :func:`batches_from_archive` for paper-scale datasets that
+    exist only as models: the read count implied by ``total_bases`` and
+    ``mean_read_length``, partitioned into ``block_reads``-sized blocks.
+    """
+    reads = dataset.total_bases / max(1.0, dataset.mean_read_length)
+    return int(max(1, min(MAX_SIM_BATCHES,
+                          math.ceil(reads / block_reads))))
+
+
 def evaluate(prep_name: str, dataset: DatasetModel,
              system: SystemConfig | None = None,
-             n_batches: int = 64) -> EndToEndResult:
-    """Run one configuration end to end and account energy."""
+             n_batches: int | None = None, *,
+             archive: SAGeArchive | None = None) -> EndToEndResult:
+    """Run one configuration end to end and account energy.
+
+    ``n_batches`` defaults to the dataset's real block structure: the
+    block count of ``archive`` when one is given, otherwise the count a
+    block-compressed version of ``dataset`` would have.
+    """
     system = system or SystemConfig()
+    if n_batches is None:
+        n_batches = batches_from_archive(archive) if archive is not None \
+            else batches_for_dataset(dataset)
     stages = build_stages(prep_name, dataset, system)
     pipeline = simulate_pipeline(stages, dataset.total_bases, n_batches)
     ledger = _account_energy(prep_name, dataset, system, pipeline)

@@ -3,12 +3,11 @@
 import numpy as np
 import pytest
 
-from repro.analysis.variants import (QualityAccessReport, call_variants,
+from repro.analysis.variants import (call_variants,
                                      host_quality_headroom, pileup,
                                      quality_block_access)
 from repro.genomics.reads import Read, ReadSet
 from repro.genomics.reference import make_reference
-from repro.genomics.simulator import ReadSimulator, short_read_profile
 
 
 @pytest.fixture(scope="module")

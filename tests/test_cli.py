@@ -1,6 +1,5 @@
 """Tests for the sage command-line interface."""
 
-import numpy as np
 import pytest
 
 from repro.cli import main
@@ -62,6 +61,90 @@ class TestInspect:
         assert "level: O4" in out
         assert "stream" in out
         assert "mapped" in out
+
+
+class TestBlockedCompress:
+    def test_blocked_roundtrip(self, workdir, rs3_small, capsys):
+        archive = workdir / "blocked.sage"
+        out = workdir / "blocked.fastq"
+        assert main(["compress", str(workdir / "reads.fastq"),
+                     str(workdir / "ref.txt"), str(archive),
+                     "--block-reads", "16"]) == 0
+        assert "blocks" in capsys.readouterr().out
+        assert main(["decompress", str(archive), str(out)]) == 0
+        decoded = fastq.read_file(out)
+        assert read_multiset(decoded) == read_multiset(rs3_small.read_set)
+
+    def test_workers_byte_identical(self, workdir):
+        one = workdir / "w1.sage"
+        four = workdir / "w4.sage"
+        base = ["compress", str(workdir / "reads.fastq"),
+                str(workdir / "ref.txt")]
+        assert main(base + [str(one), "--block-reads", "16",
+                            "--workers", "1"]) == 0
+        assert main(base + [str(four), "--block-reads", "16",
+                            "--workers", "4"]) == 0
+        assert one.read_bytes() == four.read_bytes()
+
+
+class TestCat:
+    @pytest.fixture()
+    def blocked(self, workdir):
+        archive = workdir / "blocked.sage"
+        main(["compress", str(workdir / "reads.fastq"),
+              str(workdir / "ref.txt"), str(archive),
+              "--block-reads", "16"])
+        return archive
+
+    def test_cat_single_block(self, blocked, capsys):
+        from repro.core import SAGeArchive
+        archive = SAGeArchive.from_bytes(blocked.read_bytes())
+        index = archive.block_index()
+        capsys.readouterr()
+        assert main(["cat", str(blocked), "--block", "1"]) == 0
+        out = capsys.readouterr().out
+        assert out.count("@") == index[1].n_reads
+        parsed = fastq.parse(out)
+        assert len(parsed) == index[1].n_reads
+
+    def test_cat_all_blocks_matches_decompress(self, blocked, workdir,
+                                               rs3_small, capsys):
+        capsys.readouterr()
+        assert main(["cat", str(blocked)]) == 0
+        out = capsys.readouterr().out
+        parsed = fastq.parse(out)
+        assert read_multiset(parsed) == read_multiset(rs3_small.read_set)
+
+    def test_cat_block_out_of_range(self, blocked, capsys):
+        with pytest.raises(SystemExit):
+            main(["cat", str(blocked), "--block", "999"])
+
+    def test_cat_to_file(self, blocked, workdir):
+        out = workdir / "cat.fastq"
+        assert main(["cat", str(blocked), "--block", "0",
+                     "-o", str(out)]) == 0
+        assert len(fastq.read_file(out)) > 0
+
+
+class TestInspectJson:
+    def test_json_metadata(self, workdir, capsys):
+        import json
+        archive = workdir / "reads.sage"
+        main(["compress", str(workdir / "reads.fastq"),
+              str(workdir / "ref.txt"), str(archive),
+              "--block-reads", "16"])
+        capsys.readouterr()
+        assert main(["inspect", str(archive), "--json"]) == 0
+        info = json.loads(capsys.readouterr().out)
+        assert info["version"] == 3
+        assert info["level"] == "O4"
+        assert info["n_blocks"] > 1
+        assert len(info["blocks"]) == info["n_blocks"]
+        assert sum(b["n_mapped"] + b["n_unmapped"]
+                   for b in info["blocks"]) == info["n_reads"]
+        assert info["stream_bits"]["consensus"] > 0
+        assert all(b["bytes"] > 0 and b["offset"] > 0
+                   for b in info["blocks"])
 
 
 class TestSimulate:

@@ -1,0 +1,298 @@
+"""Tests for the block-based streaming engine and the v3 container.
+
+Covers the acceptance criteria of the block refactor: lossless round
+trips across all optimization levels and read-set families, byte-equal
+parallel/serial compression, isolated random-access block decoding, and
+v2 backward compatibility.
+"""
+
+import numpy as np
+import pytest
+
+from repro.core import (BlockCompressor, OptLevel, SAGeCompressor,
+                        SAGeConfig, SAGeDecompressor, compress_blocked,
+                        partition_reads)
+from repro.core.container import (BLOCK_STREAM_NAMES, ContainerError,
+                                  SAGeArchive)
+from repro.genomics.reads import ReadSet
+from repro.genomics.simulator import (ReadSimulator, long_read_profile,
+                                      short_read_profile)
+from repro.mapping.mapper import MapperConfig
+
+from tests.conftest import read_multiset
+
+BLOCK_READS = 9  # deliberately small: forces several partial blocks
+
+
+def _simulate(profile, seed, genome, n_reads):
+    sim = ReadSimulator(profile, np.random.default_rng(seed))
+    return sim.simulate(genome, n_reads)
+
+
+@pytest.fixture(scope="module")
+def families():
+    """Small deterministic read sets, one per paper read-set family."""
+    short = _simulate(short_read_profile(), 11, 3_000, 40)
+    long_clean = _simulate(
+        long_read_profile(read_length=400, min_length=150, max_length=900,
+                          chimera_rate=0.0, n_rate=0.0),
+        12, 5_000, 24)
+    chimeric = _simulate(
+        long_read_profile(read_length=400, min_length=150, max_length=900,
+                          chimera_rate=0.5),
+        13, 5_000, 24)
+    n_heavy = _simulate(short_read_profile(n_rate=0.05), 14, 3_000, 40)
+    return {"short": short, "long": long_clean,
+            "chimeric": chimeric, "n_heavy": n_heavy}
+
+
+class TestRoundtrips:
+    @pytest.mark.parametrize("level", list(OptLevel))
+    @pytest.mark.parametrize("family",
+                             ["short", "long", "chimeric", "n_heavy"])
+    def test_lossless_all_levels_and_families(self, families, family,
+                                              level):
+        sim = families[family]
+        config = SAGeConfig(level=level)
+        archive = compress_blocked(sim.read_set, sim.reference, config,
+                                   block_reads=BLOCK_READS)
+        assert archive.n_blocks > 1
+        back = SAGeArchive.from_bytes(archive.to_bytes())
+        decoded = SAGeDecompressor(back).decompress()
+        assert read_multiset(decoded) == read_multiset(sim.read_set)
+
+    def test_preserve_order_restores_global_order(self, families):
+        sim = families["short"]
+        config = SAGeConfig(preserve_order=True)
+        archive = compress_blocked(sim.read_set, sim.reference, config,
+                                   block_reads=BLOCK_READS)
+        decoded = SAGeDecompressor(
+            SAGeArchive.from_bytes(archive.to_bytes())).decompress()
+        assert len(decoded) == len(sim.read_set)
+        for original, restored in zip(sim.read_set, decoded):
+            assert np.array_equal(original.codes, restored.codes)
+
+    def test_mixed_block_shapes(self, families):
+        """Blocks may disagree on fixed-length/long-read flags."""
+        mixed = ReadSet(list(families["short"].read_set)
+                        + list(families["long"].read_set), name="mixed")
+        archive = compress_blocked(mixed, families["short"].reference,
+                                   SAGeConfig(), block_reads=40)
+        decoded = SAGeDecompressor(
+            SAGeArchive.from_bytes(archive.to_bytes())).decompress()
+        assert read_multiset(decoded) == read_multiset(mixed)
+
+
+class TestParallelDeterminism:
+    def test_parallel_matches_serial_bytes(self, families):
+        sim = families["short"]
+        serial = compress_blocked(sim.read_set, sim.reference,
+                                  SAGeConfig(), block_reads=BLOCK_READS,
+                                  workers=1).to_bytes()
+        parallel = compress_blocked(sim.read_set, sim.reference,
+                                    SAGeConfig(), block_reads=BLOCK_READS,
+                                    workers=4).to_bytes()
+        assert serial == parallel
+
+    def test_workers_do_not_mutate_shared_config(self, families):
+        sim = families["long"]
+        mapper = MapperConfig()
+        config = SAGeConfig(mapper=mapper)
+        compress_blocked(sim.read_set, sim.reference, config,
+                         block_reads=BLOCK_READS, workers=2)
+        assert mapper == MapperConfig()
+
+
+class TestRandomAccess:
+    @pytest.fixture(scope="class")
+    def loaded(self, families):
+        sim = families["short"]
+        archive = compress_blocked(sim.read_set, sim.reference,
+                                   SAGeConfig(),
+                                   block_reads=BLOCK_READS)
+        chunks = list(partition_reads(iter(sim.read_set), BLOCK_READS))
+        return SAGeArchive.from_bytes(archive.to_bytes()), chunks
+
+    def test_block_index_counts(self, loaded):
+        archive, chunks = loaded
+        index = archive.block_index()
+        assert len(index) == len(chunks)
+        assert [e.n_reads for e in index] == [len(c) for c in chunks]
+        assert sum(e.n_reads for e in index) == archive.n_reads
+
+    def test_decompress_block_is_isolated(self, loaded):
+        archive, chunks = loaded
+        target = len(chunks) // 2
+        decoded = SAGeDecompressor(archive).decompress_block(target)
+        assert read_multiset(decoded) == read_multiset(chunks[target])
+        # Only the requested block was parsed from the blob.
+        parsed = [i for i, b in enumerate(archive.blocks)
+                  if b is not None]
+        assert parsed == [target]
+
+    def test_iter_block_read_sets_covers_all(self, loaded):
+        archive, chunks = loaded
+        sets = list(SAGeDecompressor(archive).iter_block_read_sets())
+        assert len(sets) == len(chunks)
+        for got, expected in zip(sets, chunks):
+            assert read_multiset(got) == read_multiset(expected)
+
+    def test_partial_decode_headers_globally_unique(self, loaded):
+        archive, chunks = loaded
+        seen = set()
+        for block_set in SAGeDecompressor(archive).iter_block_read_sets():
+            for read in block_set:
+                assert read.header not in seen
+                seen.add(read.header)
+
+    def test_out_of_range_block(self, loaded):
+        archive, _ = loaded
+        with pytest.raises(ContainerError):
+            archive.block_view(archive.n_blocks)
+
+    def test_flat_archive_is_block_zero(self, families):
+        sim = families["short"]
+        archive = SAGeCompressor(sim.reference,
+                                 SAGeConfig()).compress(sim.read_set)
+        decoded = SAGeDecompressor(archive).decompress_block(0)
+        assert read_multiset(decoded) == read_multiset(sim.read_set)
+        with pytest.raises(ContainerError):
+            archive.block_view(1)
+
+
+class TestContainerCompat:
+    def test_v2_blob_still_loads_and_decodes(self, families):
+        sim = families["short"]
+        archive = SAGeCompressor(sim.reference,
+                                 SAGeConfig()).compress(sim.read_set)
+        blob = archive.to_bytes(version=2)
+        back = SAGeArchive.from_bytes(blob)
+        assert back.source_version == 2
+        assert back.streams == archive.streams
+        decoded = SAGeDecompressor(back).decompress()
+        assert read_multiset(decoded) == read_multiset(sim.read_set)
+
+    def test_blocked_archive_refuses_v2(self, families):
+        sim = families["short"]
+        archive = compress_blocked(sim.read_set, sim.reference,
+                                   SAGeConfig(), block_reads=BLOCK_READS)
+        with pytest.raises(ContainerError):
+            archive.to_bytes(version=2)
+
+    def test_v3_single_block_loads_flat(self, families):
+        sim = families["short"]
+        archive = SAGeCompressor(sim.reference,
+                                 SAGeConfig()).compress(sim.read_set)
+        back = SAGeArchive.from_bytes(archive.to_bytes())
+        assert not back.is_blocked
+        assert back.n_blocks == 1
+        assert back.streams == archive.streams
+
+    def test_roundtrip_is_byte_stable(self, families):
+        sim = families["short"]
+        blob = compress_blocked(sim.read_set, sim.reference, SAGeConfig(),
+                                block_reads=BLOCK_READS).to_bytes()
+        assert SAGeArchive.from_bytes(blob).to_bytes() == blob
+
+    def test_byte_size_tracks_blob(self, families):
+        sim = families["short"]
+        archive = compress_blocked(sim.read_set, sim.reference,
+                                   SAGeConfig(), block_reads=BLOCK_READS)
+        blob = archive.to_bytes()
+        assert abs(len(blob) - archive.byte_size()) \
+            <= 0.05 * len(blob) + 64
+
+
+class TestBlockedHardwarePath:
+    """The hardware/SSD models must accept blocked archives (§5.3)."""
+
+    @pytest.fixture(scope="class")
+    def blocked(self, families):
+        sim = families["short"]
+        archive = compress_blocked(sim.read_set, sim.reference,
+                                   SAGeConfig(),
+                                   block_reads=BLOCK_READS)
+        return sim, archive
+
+    def test_hardware_model_decodes_blocked(self, blocked):
+        from repro.hardware.sage_units import SAGeHardwareModel
+        from repro.hardware.ssd import pcie_ssd
+        sim, archive = blocked
+        reads, stats = SAGeHardwareModel(pcie_ssd()).run(archive)
+        assert read_multiset(reads) == read_multiset(sim.read_set)
+        assert stats.n_reads == len(sim.read_set)
+        assert stats.output_bases == sim.read_set.total_bases
+        # Shared consensus fetched once, not once per block.
+        assert stats.stream_bits["consensus"] \
+            == archive.streams["consensus"][1]
+
+    def test_device_read_and_batches(self, blocked):
+        from repro.hardware.device import SAGeDevice
+        sim, archive = blocked
+        device = SAGeDevice()
+        device.sage_write("rs", archive)
+        result = device.sage_read("rs")
+        assert read_multiset(result.reads) == read_multiset(sim.read_set)
+        batches = list(device.iter_batches("rs", batch_reads=10))
+        total = [r for b in batches for r in b]
+        codes_only = sorted(r.codes.tobytes() for r in total)
+        assert codes_only == sorted(r.codes.tobytes()
+                                    for r in sim.read_set)
+
+    def test_block_index_offsets_locate_payloads(self, blocked):
+        """Built-in-memory offsets must match the serialized layout."""
+        from repro.core.container import SAGeBlock
+        _, archive = blocked
+        blob = archive.to_bytes()
+        loaded = SAGeArchive.from_bytes(blob)
+        assert archive.block_index() == loaded.block_index()
+        for i, entry in enumerate(archive.block_index()):
+            payload = blob[entry.offset:entry.offset + entry.nbytes]
+            assert SAGeBlock.deserialize(payload).n_reads == entry.n_reads
+
+
+class TestEngineEdges:
+    def test_empty_input_yields_one_empty_block(self, families):
+        sim = families["short"]
+        archive = compress_blocked(ReadSet([]), sim.reference,
+                                   SAGeConfig())
+        assert archive.n_blocks == 1
+        assert archive.n_reads == 0
+        decoded = SAGeDecompressor(
+            SAGeArchive.from_bytes(archive.to_bytes())).decompress()
+        assert len(decoded) == 0
+
+    def test_prechunked_stream_one_block_per_chunk(self, families):
+        sim = families["short"]
+        chunks = list(partition_reads(iter(sim.read_set), 15))
+        archive = BlockCompressor(sim.reference,
+                                  SAGeConfig()).compress(iter(chunks))
+        assert archive.n_blocks == len(chunks)
+
+    def test_invalid_parameters_rejected(self, families):
+        sim = families["short"]
+        with pytest.raises(ValueError):
+            BlockCompressor(sim.reference, block_reads=0)
+        with pytest.raises(ValueError):
+            BlockCompressor(sim.reference, workers=0)
+        with pytest.raises(ValueError):
+            list(partition_reads(iter(sim.read_set), 0))
+
+    def test_breakdown_counts_consensus_once(self, families):
+        sim = families["short"]
+        blocked = compress_blocked(sim.read_set, sim.reference,
+                                   SAGeConfig(),
+                                   block_reads=BLOCK_READS)
+        flat = SAGeCompressor(sim.reference,
+                              SAGeConfig()).compress(sim.read_set)
+        assert blocked.breakdown.get("consensus") \
+            == flat.breakdown.get("consensus")
+
+    def test_block_streams_exclude_consensus(self, families):
+        sim = families["short"]
+        archive = compress_blocked(sim.read_set, sim.reference,
+                                   SAGeConfig(),
+                                   block_reads=BLOCK_READS)
+        for i in range(archive.n_blocks):
+            assert set(archive.block(i).streams) \
+                == set(BLOCK_STREAM_NAMES)

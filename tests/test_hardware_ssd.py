@@ -2,7 +2,7 @@
 
 import pytest
 
-from repro.hardware.ssd import (FTLError, NANDConfig, SAGeFTL, SSDModel,
+from repro.hardware.ssd import (FTLError, NANDConfig, SAGeFTL,
                                 pcie_ssd, sata_ssd)
 
 

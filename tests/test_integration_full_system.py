@@ -7,12 +7,10 @@ truth.  This is the paper's mode-3 deployment (Fig. 12 ❸) exercised
 functionally end to end.
 """
 
-import numpy as np
 import pytest
 
 from repro.core import SAGeCompressor, SAGeConfig
 from repro.core.formats import OutputFormat
-from repro.genomics import sequence as seq
 from repro.hardware.device import SAGeDevice
 from repro.hardware.ssd import pcie_ssd
 from repro.mapping import ReadMapper

@@ -1,13 +1,13 @@
 """Tests for the pipeline simulator and end-to-end system model."""
 
-import math
-
 import pytest
 
 from repro.hardware.ssd import pcie_ssd, sata_ssd
-from repro.pipeline import (PREP_ORDER, SystemConfig, build_stages,
-                            dataset_from_paper, evaluate, geometric_mean,
-                            measure_filter_fraction, paper_dataset_models)
+from repro.pipeline import (MAX_SIM_BATCHES, PREP_ORDER, SystemConfig,
+                            batches_for_dataset, batches_from_archive,
+                            build_stages, dataset_from_paper, evaluate,
+                            geometric_mean, measure_filter_fraction,
+                            paper_dataset_models)
 from repro.pipeline.accelerators import ISFModel, gem, software_mapper
 from repro.pipeline.stages import Stage, simulate_pipeline, steady_state_throughput
 
@@ -194,6 +194,26 @@ class TestEndToEnd:
         assert result.bottleneck == "analysis"
         result = evaluate("(N)Spr", models["RS2"], pcie)
         assert result.bottleneck == "prep"
+
+    def test_batches_derive_from_block_structure(self, models, pcie):
+        """n_batches comes from the real archive block count when given."""
+        from repro.core import SAGeConfig, compress_blocked
+        from repro.genomics import datasets
+        sim = datasets.generate("RS3", base_genome=4_000)
+        archive = compress_blocked(sim.read_set, sim.reference,
+                                   SAGeConfig(), block_reads=16)
+        assert batches_from_archive(archive) == archive.n_blocks
+        result = evaluate("SAGe", models["RS2"], pcie, archive=archive)
+        timeline = result.pipeline.stage("io")
+        assert len(timeline.intervals) == archive.n_blocks
+
+    def test_batches_for_paper_scale_dataset_capped(self, models):
+        # Paper-scale read counts partition into far more blocks than
+        # the simulator needs; the derivation caps at MAX_SIM_BATCHES.
+        assert batches_for_dataset(models["RS2"]) == MAX_SIM_BATCHES
+        small = dataset_from_paper("RS2")
+        small.total_bases = small.mean_read_length * 10
+        assert batches_for_dataset(small, block_reads=4) == 3
 
     def test_unknown_prep_rejected(self, models, pcie):
         with pytest.raises(KeyError):
