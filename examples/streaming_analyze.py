@@ -1,0 +1,67 @@
+"""Overlapped streaming decode feeding pipelined analysis sinks (§7).
+
+The paper's pipeline overlaps data preparation with analysis: while
+block *i+1* is being decompressed, the consumer analyzes block *i*.
+This example realizes that in software — it compresses a read set into
+an independently decodable blocked archive, then runs property analysis
+and a mapping-rate pass *directly off the archive* through the
+StreamExecutor, without ever materializing the FASTQ.
+
+Run:  python examples/streaming_analyze.py
+"""
+
+import io
+
+from repro.core import SAGeConfig, SAGeDecompressor, compress_blocked
+from repro.genomics import datasets
+from repro.pipeline import FastqSink, PropertySink, StreamExecutor
+
+WORKERS = 2
+
+
+def main() -> None:
+    # A blocked v3 archive: each block decodes independently.
+    sim = datasets.generate("RS3", base_genome=12_000)
+    archive = compress_blocked(sim.read_set, sim.reference, SAGeConfig(),
+                               block_reads=32)
+    print(f"archive: {len(sim.read_set)} reads in {archive.n_blocks} "
+          f"independently decodable blocks")
+
+    # Decode blocks on worker processes with bounded prefetch while the
+    # sinks consume earlier blocks — prep overlaps analysis, and memory
+    # stays bounded by the in-flight window, not the dataset.  One pass
+    # both analyzes the reads and re-emits them as FASTQ; the property
+    # report already carries the mapping rate (use MappingRateSink
+    # alone when only that number is needed).
+    decompressor = SAGeDecompressor(archive)
+    executor = StreamExecutor(archive, workers=WORKERS,
+                              decompressor=decompressor)
+    fastq_out = io.StringIO()
+    report, n_written = executor.run(PropertySink(decompressor.consensus),
+                                     FastqSink(fastq_out))
+
+    stats = executor.stats
+    print(f"streamed {stats.blocks} blocks ({stats.reads} reads, "
+          f"{stats.bases:,} bases) with workers={WORKERS}; "
+          f"peak in-flight blocks: {stats.peak_inflight} "
+          f"(window bound: {executor.window})")
+
+    mapped = report.n_reads - report.n_unmapped
+    print(f"mapping rate: {mapped / max(1, report.n_reads):.1%} "
+          f"({report.n_unmapped} unmapped of {report.n_reads}); "
+          f"{n_written} reads re-emitted as FASTQ "
+          f"({len(fastq_out.getvalue()):,} B)")
+    counts = report.mismatch_count_hist()
+    total = max(1, counts.sum())
+    print(f"mismatch-free mapped reads: {counts[0] / total:.1%} "
+          f"(Fig. 7b head)")
+
+    # The same engine backs the plain streaming-decode API: consume
+    # block i while block i+1 decodes.
+    first = next(iter(decompressor.iter_block_read_sets(workers=WORKERS)))
+    print(f"first decoded block: {len(first)} reads "
+          f"(headers {first[0].header!r} ...)")
+
+
+if __name__ == "__main__":
+    main()

@@ -2,12 +2,13 @@
 
 from . import breakdown, properties, variants
 from .breakdown import FIG17_LABELS, AblationResult, run_ablation
-from .properties import PropertyReport, analyze
+from .properties import PropertyAccumulator, PropertyReport, analyze
 from .variants import (QualityAccessReport, VariantCall, call_variants,
                        host_quality_headroom, pileup,
                        quality_block_access)
 
 __all__ = ["breakdown", "properties", "variants", "FIG17_LABELS",
-           "AblationResult", "run_ablation", "PropertyReport", "analyze",
-           "QualityAccessReport", "VariantCall", "call_variants",
-           "host_quality_headroom", "pileup", "quality_block_access"]
+           "AblationResult", "run_ablation", "PropertyAccumulator",
+           "PropertyReport", "analyze", "QualityAccessReport",
+           "VariantCall", "call_variants", "host_quality_headroom",
+           "pileup", "quality_block_access"]

@@ -10,11 +10,12 @@ delta-encoded matching positions after reordering (Property 6).
 from __future__ import annotations
 
 from dataclasses import dataclass
+from typing import Iterable
 
 import numpy as np
 
 from ..core.tuning import bit_count_histogram
-from ..genomics.reads import ReadSet
+from ..genomics.reads import Read, ReadSet, iter_reads
 from ..mapping.alignment import DEL, INS
 from ..mapping.mapper import MapperConfig, ReadMapper
 
@@ -73,43 +74,78 @@ class PropertyReport:
         return hist / total
 
 
-def analyze(read_set: ReadSet, reference: np.ndarray,
-            mapper_config: MapperConfig | None = None) -> PropertyReport:
-    """Gather the Fig. 7 / Fig. 10 statistics for one read set."""
-    mapper = ReadMapper(np.asarray(reference, dtype=np.uint8),
-                        mapper_config)
-    pos_deltas: list[int] = []
-    counts: list[int] = []
-    indel_lengths: list[int] = []
-    first_positions: list[int] = []
-    n_unmapped = 0
-    n_chimeric = 0
+class PropertyAccumulator:
+    """Incremental form of :func:`analyze` for streamed read sets.
 
-    for read in read_set:
-        mapping = mapper.map_read(read.codes)
+    Consumes reads (or :class:`ReadSet` blocks) one at a time — e.g. as
+    a :class:`~repro.pipeline.executor.StreamExecutor` decodes them —
+    and produces the same :class:`PropertyReport` a whole-dataset pass
+    would.  Only the per-read statistics are retained between calls;
+    the read data itself is never held.
+    """
+
+    def __init__(self, reference: np.ndarray,
+                 mapper_config: MapperConfig | None = None):
+        self._mapper = ReadMapper(np.asarray(reference, dtype=np.uint8),
+                                  mapper_config)
+        self._pos_deltas: list[int] = []
+        self._counts: list[int] = []
+        self._indel_lengths: list[int] = []
+        self._first_positions: list[int] = []
+        self._n_unmapped = 0
+        self._n_chimeric = 0
+        self._n_reads = 0
+
+    def add(self, read: Read) -> None:
+        """Map one read and fold its statistics in."""
+        self._n_reads += 1
+        mapping = self._mapper.map_read(read.codes)
         if mapping.unmapped:
-            n_unmapped += 1
-            continue
+            self._n_unmapped += 1
+            return
         if mapping.is_chimeric:
-            n_chimeric += 1
-        first_positions.append(mapping.segments[0].cons_start)
+            self._n_chimeric += 1
+        self._first_positions.append(mapping.segments[0].cons_start)
         n_mismatches = 0
         for segment in sorted(mapping.segments,
                               key=lambda s: s.read_start):
             prev = 0
             for op in segment.ops:
                 n_mismatches += 1
-                pos_deltas.append(op.read_pos - prev)
+                self._pos_deltas.append(op.read_pos - prev)
                 prev = op.read_pos
                 if op.kind in (INS, DEL):
-                    indel_lengths.append(op.length)
-        counts.append(n_mismatches)
+                    self._indel_lengths.append(op.length)
+        self._counts.append(n_mismatches)
 
-    first_positions.sort()
-    deltas = np.diff(np.array([0] + first_positions, dtype=np.int64))
-    return PropertyReport(
-        mismatch_pos_deltas=np.array(pos_deltas, dtype=np.int64),
-        mismatch_counts=np.array(counts, dtype=np.int64),
-        indel_block_lengths=np.array(indel_lengths, dtype=np.int64),
-        matching_pos_deltas=deltas, n_unmapped=n_unmapped,
-        n_chimeric=n_chimeric, n_reads=len(read_set))
+    def consume(self, reads: Iterable[Read]) -> None:
+        """Fold in a batch of reads (any iterable, e.g. a block)."""
+        for read in reads:
+            self.add(read)
+
+    def report(self) -> PropertyReport:
+        """The distributions accumulated so far."""
+        first_positions = sorted(self._first_positions)
+        deltas = np.diff(np.array([0] + first_positions, dtype=np.int64))
+        return PropertyReport(
+            mismatch_pos_deltas=np.array(self._pos_deltas,
+                                         dtype=np.int64),
+            mismatch_counts=np.array(self._counts, dtype=np.int64),
+            indel_block_lengths=np.array(self._indel_lengths,
+                                         dtype=np.int64),
+            matching_pos_deltas=deltas, n_unmapped=self._n_unmapped,
+            n_chimeric=self._n_chimeric, n_reads=self._n_reads)
+
+
+def analyze(reads: ReadSet | Iterable[ReadSet], reference: np.ndarray,
+            mapper_config: MapperConfig | None = None) -> PropertyReport:
+    """Gather the Fig. 7 / Fig. 10 statistics for a read set.
+
+    Accepts either a materialized :class:`ReadSet` or any iterable of
+    :class:`ReadSet` blocks (e.g. the streaming decoders'
+    ``iter_block_read_sets``), which is analyzed without ever holding
+    the whole dataset.
+    """
+    accumulator = PropertyAccumulator(reference, mapper_config)
+    accumulator.consume(iter_reads(reads))
+    return accumulator.report()

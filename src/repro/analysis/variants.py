@@ -20,10 +20,11 @@ are accessed.  This module reproduces that pipeline functionally:
 from __future__ import annotations
 
 from dataclasses import dataclass, field
+from typing import Iterable
 
 import numpy as np
 
-from ..genomics.reads import ReadSet
+from ..genomics.reads import ReadSet, iter_reads
 from ..mapping.alignment import INS, SUB
 from ..mapping.mapper import MapperConfig, MappingResult, ReadMapper
 
@@ -61,16 +62,22 @@ class Pileup:
     mappings: list[MappingResult | None] = field(default_factory=list)
 
 
-def pileup(read_set: ReadSet, reference: np.ndarray,
+def pileup(read_set: ReadSet | Iterable[ReadSet], reference: np.ndarray,
            mapper_config: MapperConfig | None = None) -> Pileup:
-    """Map every read and accumulate per-position evidence."""
+    """Map every read and accumulate per-position evidence.
+
+    ``read_set`` may be a stream of :class:`ReadSet` blocks (e.g. from
+    ``iter_block_read_sets``); evidence accumulates block by block and
+    ``mappings`` keeps stream order, so downstream consumers see the
+    same result as a whole-dataset pass.
+    """
     reference = np.asarray(reference, dtype=np.uint8)
     mapper = ReadMapper(reference, mapper_config)
     depth = np.zeros(reference.size, dtype=np.int32)
     alt_counts = np.zeros((4, reference.size), dtype=np.int32)
     result = Pileup(depth=depth, alt_counts=alt_counts)
 
-    for read in read_set:
+    for read in iter_reads(read_set):
         mapping = mapper.map_read(read.codes)
         result.mappings.append(None if mapping.unmapped else mapping)
         if mapping.unmapped:
@@ -103,7 +110,8 @@ def pileup(read_set: ReadSet, reference: np.ndarray,
     return result
 
 
-def call_variants(read_set: ReadSet, reference: np.ndarray,
+def call_variants(read_set: ReadSet | Iterable[ReadSet],
+                  reference: np.ndarray,
                   min_depth: int = 4, min_alt_fraction: float = 0.5,
                   mapper_config: MapperConfig | None = None,
                   evidence: Pileup | None = None) -> list[VariantCall]:

@@ -4,8 +4,10 @@ Subcommands::
 
     sage compress   input.fastq consensus.txt output.sage [--level O4]
                     [--workers N] [--block-reads M]
-    sage decompress input.sage output.fastq
+    sage decompress input.sage output.fastq [--workers N]
     sage cat        input.sage [--block I] [--output out.fastq]
+                    [--workers N]
+    sage analyze    input.sage [--workers N] [--mapping-rate] [--json]
     sage inspect    input.sage [--json]
     sage simulate   RS2 output.fastq [--genome 50000] [--ref ref.txt]
 
@@ -15,8 +17,15 @@ writes one alongside the FASTQ so the two commands compose.
 ``--block-reads M`` partitions the input into independently decodable
 blocks of ``M`` reads (the v3 container's random-access unit) and streams
 the FASTQ instead of loading it whole; ``--workers N`` compresses blocks
-on ``N`` processes, producing a byte-identical archive.  ``sage cat``
-decodes a single block without touching the rest of the archive.
+on ``N`` processes, producing a byte-identical archive.  On the consume
+side every command streams block by block through the overlapped
+execution engine (:mod:`repro.pipeline.executor`): ``--workers N``
+decodes blocks in parallel with bounded prefetch while the consumer
+(FASTQ writer, property analysis, mapping) processes earlier blocks —
+output is byte-identical for every ``N``.  ``sage cat`` decodes a single
+block without touching the rest of the archive; ``sage analyze`` runs
+property analysis or a mapping-rate pass directly off an archive, using
+the archive's own consensus as the reference.
 """
 
 from __future__ import annotations
@@ -34,6 +43,8 @@ from .core import (DEFAULT_BLOCK_READS, BlockCompressor, OptLevel,
 from .core.container import STREAM_NAMES
 from .genomics import datasets, fastq
 from .genomics import sequence as seqmod
+from .pipeline.executor import (FastqSink, MappingRateSink, PropertySink,
+                                StreamExecutor)
 
 
 def _read_consensus(path: str) -> np.ndarray:
@@ -82,15 +93,23 @@ def _cmd_compress(args: argparse.Namespace) -> int:
 
 
 def _cmd_decompress(args: argparse.Namespace) -> int:
+    if args.workers < 1:
+        raise SystemExit("--workers must be >= 1")
     blob = Path(args.input).read_bytes()
     archive = SAGeArchive.from_bytes(blob)
-    read_set = SAGeDecompressor(archive).decompress()
-    fastq.write_file(read_set, args.output)
-    print(f"{args.input}: {len(read_set)} reads -> {args.output}")
+    # Stream block by block: FASTQ for block i is written while block
+    # i+1 is still decoding, and the dataset is never materialized.
+    executor = StreamExecutor(archive, workers=args.workers)
+    with open(args.output, "w", encoding="ascii") as handle:
+        sink = FastqSink(handle)
+        executor.run(sink)
+    print(f"{args.input}: {sink.n_reads} reads -> {args.output}")
     return 0
 
 
 def _cmd_cat(args: argparse.Namespace) -> int:
+    if args.workers < 1:
+        raise SystemExit("--workers must be >= 1")
     archive = SAGeArchive.from_bytes(Path(args.input).read_bytes())
     decompressor = SAGeDecompressor(archive)
     if args.block is not None:
@@ -100,7 +119,7 @@ def _cmd_cat(args: argparse.Namespace) -> int:
                 f"(archive has {archive.n_blocks} blocks)")
         sets = [decompressor.decompress_block(args.block)]
     else:
-        sets = decompressor.iter_block_read_sets()
+        sets = decompressor.iter_block_read_sets(workers=args.workers)
     out = sys.stdout if args.output in (None, "-") \
         else open(args.output, "w", encoding="ascii")
     try:
@@ -111,6 +130,87 @@ def _cmd_cat(args: argparse.Namespace) -> int:
         if out is not sys.stdout:
             out.close()
     return 0
+
+
+def _cmd_analyze(args: argparse.Namespace) -> int:
+    if args.workers < 1:
+        raise SystemExit("--workers must be >= 1")
+    archive = SAGeArchive.from_bytes(Path(args.input).read_bytes())
+    decompressor = SAGeDecompressor(archive)
+    # The archive's own consensus is the mapping reference, so analysis
+    # needs no side files — it runs straight off the compressed blob.
+    executor = StreamExecutor(archive, workers=args.workers,
+                              decompressor=decompressor)
+    if args.mapping_rate:
+        [rate] = executor.run(MappingRateSink(decompressor.consensus))
+        info = {"n_reads": rate.n_reads, "n_mapped": rate.n_mapped,
+                "n_unmapped": rate.n_unmapped,
+                "mapping_rate": rate.mapping_rate}
+    else:
+        [report] = executor.run(PropertySink(decompressor.consensus))
+        mismatch_hist = report.mismatch_count_hist()
+        info = {
+            "n_reads": report.n_reads,
+            "n_mapped": report.n_reads - report.n_unmapped,
+            "n_unmapped": report.n_unmapped,
+            "n_chimeric": report.n_chimeric,
+            "mapping_rate": (report.n_reads - report.n_unmapped)
+            / max(1, report.n_reads),
+            "mismatch_pos_bitcount_hist":
+                report.mismatch_pos_bitcount_hist().tolist(),
+            "mismatch_count_hist": mismatch_hist.tolist(),
+            "matching_pos_bitcount_fractions":
+                [round(float(f), 6) for f in
+                 report.matching_pos_bitcount_fractions()],
+        }
+    stats = executor.stats
+    info["stream"] = {"blocks": stats.blocks,
+                      "peak_inflight_blocks": stats.peak_inflight,
+                      "workers": args.workers}
+    if args.json:
+        print(json.dumps(info, indent=2, sort_keys=True))
+        return 0
+    print(f"{args.input}: {info['n_reads']} reads in "
+          f"{stats.blocks} block(s), "
+          f"mapping rate {info['mapping_rate']:.1%} "
+          f"({info['n_unmapped']} unmapped)")
+    if not args.mapping_rate:
+        print(f"chimeric reads: {info['n_chimeric']}")
+        hist = info["mismatch_count_hist"]
+        total = max(1, sum(hist))
+        zero = hist[0] / total if hist else 0.0
+        print(f"mismatch-free mapped reads: {zero:.1%}")
+        fractions = info["matching_pos_bitcount_fractions"]
+        top = max(range(len(fractions)), key=fractions.__getitem__)
+        print(f"matching-pos deltas: modal bit width {top} "
+              f"({fractions[top]:.1%} of reads)")
+    print(f"peak in-flight blocks: {stats.peak_inflight} "
+          f"(workers={args.workers})")
+    return 0
+
+
+def _block_info(archive: SAGeArchive, index: int, entry) -> dict:
+    """Per-block metadata: read counts + compressed section sizes."""
+    blk = archive.block(index)
+    return {
+        "index": index,
+        "n_reads": entry.n_reads,
+        "n_mapped": entry.n_mapped,
+        "n_unmapped": entry.n_unmapped,
+        "bytes": entry.nbytes,
+        "offset": entry.offset,
+        "sections": {
+            "meta_bytes": blk.meta_nbytes(),
+            "stream_bytes": sum(len(payload)
+                                for payload, _ in blk.streams.values()),
+            "quality_bytes": blk.quality.byte_size
+            if blk.quality is not None else 0,
+            "headers_bytes": len(blk.headers_blob)
+            if blk.headers_blob is not None else 0,
+        },
+        "stream_bits": {name: bits for name, (_, bits)
+                        in sorted(blk.streams.items())},
+    }
 
 
 def _archive_info(archive: SAGeArchive) -> dict:
@@ -133,11 +233,8 @@ def _archive_info(archive: SAGeArchive) -> dict:
         "headers": first.headers_blob is not None,
         "block_reads": archive.block_reads,
         "n_blocks": archive.n_blocks,
-        "blocks": [
-            {"index": i, "n_mapped": e.n_mapped,
-             "n_unmapped": e.n_unmapped, "bytes": e.nbytes,
-             "offset": e.offset}
-            for i, e in enumerate(index)],
+        "blocks": [_block_info(archive, i, e)
+                   for i, e in enumerate(index)],
         "stream_bits": {name: bits for name, bits in sorted(streams.items())},
         "tables": {key: list(table.widths)
                    for key, table in first.tables.items()},
@@ -209,6 +306,9 @@ def build_parser() -> argparse.ArgumentParser:
     p = sub.add_parser("decompress", help="decompress to FASTQ")
     p.add_argument("input")
     p.add_argument("output")
+    p.add_argument("--workers", type=int, default=1,
+                   help="worker processes for parallel block decode "
+                        "(output is byte-identical for every N)")
     p.set_defaults(func=_cmd_decompress)
 
     p = sub.add_parser("cat", help="decode blocks to FASTQ on stdout")
@@ -217,7 +317,23 @@ def build_parser() -> argparse.ArgumentParser:
                    help="decode only this block index")
     p.add_argument("--output", "-o", default=None,
                    help="write FASTQ here instead of stdout")
+    p.add_argument("--workers", type=int, default=1,
+                   help="worker processes for parallel block decode")
     p.set_defaults(func=_cmd_cat)
+
+    p = sub.add_parser("analyze",
+                       help="stream property/mapping analysis off an "
+                            "archive (no FASTQ round trip)")
+    p.add_argument("input")
+    p.add_argument("--workers", type=int, default=1,
+                   help="worker processes decoding blocks while "
+                        "analysis consumes them")
+    p.add_argument("--mapping-rate", action="store_true",
+                   help="only measure the mapping rate (skip property "
+                        "distributions)")
+    p.add_argument("--json", action="store_true",
+                   help="emit machine-readable JSON")
+    p.set_defaults(func=_cmd_analyze)
 
     p = sub.add_parser("inspect", help="describe an archive")
     p.add_argument("input")

@@ -37,8 +37,9 @@ from .container import SAGeArchive, SAGeBlock
 from .formats import pack_bits
 from .mismatch import SizeBreakdown
 
-__all__ = ["DEFAULT_BLOCK_READS", "BlockCompressor", "block_from_archive",
-           "compress_blocked", "partition_reads"]
+__all__ = ["DEFAULT_BLOCK_READS", "INFLIGHT_PER_WORKER", "BlockCompressor",
+           "block_from_archive", "compress_blocked", "imap_bounded",
+           "partition_reads"]
 
 #: Default reads-per-block partition size.  Matches the order of the
 #: paper's per-channel section granularity: large enough that Algorithm-1
@@ -46,8 +47,10 @@ __all__ = ["DEFAULT_BLOCK_READS", "BlockCompressor", "block_from_archive",
 #: useful unit of random access and parallelism.
 DEFAULT_BLOCK_READS = 4096
 
-#: Submitted-but-unfinished blocks kept in flight per worker.
-_INFLIGHT_PER_WORKER = 2
+#: Submitted-but-unfinished blocks kept in flight per worker.  Shared
+#: backpressure policy of both the compression engine here and the
+#: streaming decode executor (:mod:`repro.pipeline.executor`).
+INFLIGHT_PER_WORKER = 2
 
 #: Per-process compressor memo, keyed by *identity* of the consensus and
 #: config objects (cheap, and both are stable across a run: the parent
@@ -96,18 +99,24 @@ def block_from_archive(archive: SAGeArchive) -> SAGeBlock:
     return archive._as_block()
 
 
-def _imap_bounded(executor: Executor, fn: Callable, items: Iterable,
-                  window: int) -> Iterator:
+def imap_bounded(executor: Executor, fn: Callable, items: Iterable,
+                 window: int,
+                 depth_probe: Callable[[int], None] | None = None
+                 ) -> Iterator:
     """``executor.map`` with a bounded number of in-flight futures.
 
     Preserves submission order, so merged results are independent of
     completion order — and the input iterator is consumed lazily, so a
-    streaming read source is never materialized.
+    streaming source is never materialized.  ``depth_probe`` (if given)
+    is called with the in-flight queue depth after every submission; the
+    streaming decode executor uses it to record peak queue depth.
     """
     pending: deque = deque()
     iterator = iter(items)
     for item in iterator:
         pending.append(executor.submit(fn, item))
+        if depth_probe is not None:
+            depth_probe(len(pending))
         if len(pending) >= window:
             yield pending.popleft().result()
     while pending:
@@ -195,7 +204,7 @@ class BlockCompressor:
 
     def _compress_parallel(self,
                            chunks: Iterator[ReadSet]) -> list[SAGeBlock]:
-        window = self.workers * _INFLIGHT_PER_WORKER
+        window = self.workers * INFLIGHT_PER_WORKER
         try:
             executor = ProcessPoolExecutor(
                 max_workers=self.workers, initializer=_init_worker,
@@ -207,8 +216,8 @@ class BlockCompressor:
             return [_compress_chunk(self.consensus, self.config, c)
                     for c in chunks]
         with executor:
-            return list(_imap_bounded(executor, _compress_chunk_pooled,
-                                      chunks, window))
+            return list(imap_bounded(executor, _compress_chunk_pooled,
+                                     chunks, window))
 
     def _assemble(self, blocks: list[SAGeBlock],
                   name: str) -> SAGeArchive:

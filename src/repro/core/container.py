@@ -200,6 +200,33 @@ class SAGeBlock:
                    headers_blob=headers_blob)
 
 
+def block_as_archive(blk: SAGeBlock, *, level: OptLevel,
+                     consensus: tuple[bytes, int], consensus_length: int,
+                     w_cons: int, preserve_order: bool, name: str = "",
+                     source_version: int = VERSION) -> "SAGeArchive":
+    """Wrap one block as a flat, decodable single-section archive.
+
+    The single place that knows how a block combines with the shared
+    global state: :meth:`SAGeArchive.block_view` and the parallel decode
+    workers (:mod:`repro.pipeline.executor`) both build their views
+    here, which is what keeps the parallel decode byte-identical to the
+    serial one as the container evolves.
+    """
+    streams = dict(blk.streams)
+    streams["consensus"] = consensus
+    return SAGeArchive(
+        level=level, long_reads=blk.long_reads,
+        fixed_length=blk.fixed_length,
+        fixed_read_length=blk.fixed_read_length,
+        n_mapped=blk.n_mapped, n_unmapped=blk.n_unmapped,
+        consensus_length=consensus_length, w_rlen=blk.w_rlen,
+        w_cons=w_cons, tables=blk.tables, streams=streams,
+        quality=blk.quality, preserve_order=preserve_order,
+        headers_blob=blk.headers_blob, breakdown=blk.breakdown,
+        permutation=blk.permutation, name=name,
+        source_version=source_version)
+
+
 @dataclass
 class SAGeArchive:
     """An in-memory SAGe-compressed read set.
@@ -309,19 +336,11 @@ class SAGeArchive:
                 return self
             raise ContainerError(
                 f"block {index} out of range for a single-block archive")
-        blk = self.block(index)
-        streams = dict(blk.streams)
-        streams["consensus"] = self.streams["consensus"]
-        return SAGeArchive(
-            level=self.level, long_reads=blk.long_reads,
-            fixed_length=blk.fixed_length,
-            fixed_read_length=blk.fixed_read_length,
-            n_mapped=blk.n_mapped, n_unmapped=blk.n_unmapped,
-            consensus_length=self.consensus_length, w_rlen=blk.w_rlen,
-            w_cons=self.w_cons, tables=blk.tables, streams=streams,
-            quality=blk.quality, preserve_order=self.preserve_order,
-            headers_blob=blk.headers_blob, breakdown=blk.breakdown,
-            permutation=blk.permutation, name=self.name,
+        return block_as_archive(
+            self.block(index), level=self.level,
+            consensus=self.streams["consensus"],
+            consensus_length=self.consensus_length, w_cons=self.w_cons,
+            preserve_order=self.preserve_order, name=self.name,
             source_version=self.source_version)
 
     def block_index(self) -> list[BlockIndexEntry]:

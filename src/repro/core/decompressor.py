@@ -38,6 +38,22 @@ class DecompressionError(ValueError):
     """Raised on malformed or inconsistent archives."""
 
 
+def renumber_fallback_headers(read_set: ReadSet, base: int,
+                              name: str) -> ReadSet:
+    """Re-enumerate a block's fallback read headers from ``base``.
+
+    Blocks without a headers blob decode with headers counted from 0;
+    offsetting by the preceding blocks' read counts keeps headers
+    globally unique.  Shared by the serial per-block decode and the
+    parallel decode workers so both name reads identically.
+    """
+    name = name or "sage"
+    return ReadSet(
+        [Read(codes=r.codes, quality=r.quality,
+              header=f"{name}.{base + i}")
+         for i, r in enumerate(read_set)], name=name)
+
+
 class SAGeDecompressor:
     """Decodes a :class:`SAGeArchive` back into reads."""
 
@@ -55,16 +71,18 @@ class SAGeDecompressor:
     # Public API
     # ------------------------------------------------------------------
 
-    def decompress(self) -> ReadSet:
+    def decompress(self, *, workers: int = 1) -> ReadSet:
         """Decode every read (and quality scores, if present).
 
         Blocked (v3 multi-section) archives are decoded block by block
         in index order; each block restores its own within-block order,
         so the concatenation reproduces the original read order whenever
-        ``preserve_order`` was set at compression time.
+        ``preserve_order`` was set at compression time.  ``workers > 1``
+        decodes blocks in parallel through the streaming executor
+        (:mod:`repro.pipeline.executor`); the result is identical.
         """
         if self.archive.is_blocked:
-            return self._decompress_blocked()
+            return self._decompress_blocked(workers=workers)
         codes = list(self.iter_read_codes())
         qualities: list[np.ndarray | None] = [None] * len(codes)
         if self.archive.quality is not None:
@@ -110,26 +128,39 @@ class SAGeDecompressor:
         decoded = SAGeDecompressor(view,
                                    consensus=self.consensus).decompress()
         if arch.is_blocked and view.headers_blob is None:
-            # Offset the fallback header enumeration by the preceding
-            # blocks' read counts (known from the index alone) so partial
-            # decodes carry globally unique headers.
+            # The offset is known from the index alone; no other block
+            # is decoded.
             base = sum(entry.n_reads
                        for entry in arch.block_index()[:index])
-            name = arch.name or "sage"
-            decoded = ReadSet(
-                [Read(codes=r.codes, quality=r.quality,
-                      header=f"{name}.{base + i}")
-                 for i, r in enumerate(decoded)], name=name)
+            decoded = renumber_fallback_headers(decoded, base, arch.name)
         return decoded
 
-    def iter_block_read_sets(self) -> Iterator[ReadSet]:
-        """Yield each block's reads in index order (streaming decode)."""
-        for index in range(self.archive.n_blocks):
-            yield self.decompress_block(index)
+    def iter_block_read_sets(self, workers: int = 1, *,
+                             backend: str = "auto",
+                             prefetch: int | None = None
+                             ) -> Iterator[ReadSet]:
+        """Yield each block's reads in index order (streaming decode).
 
-    def _decompress_blocked(self) -> ReadSet:
+        ``workers > 1`` (or an explicit ``backend``) hands the walk to
+        the overlapped streaming executor: blocks decode in parallel
+        with bounded prefetch, and the caller consumes block *i* while
+        block *i+1* is still decoding.  Output order and content are
+        identical to the serial walk for every configuration.
+        """
+        if workers < 1:
+            raise ValueError("workers must be >= 1")
+        if workers == 1 and backend in ("auto", "serial"):
+            for index in range(self.archive.n_blocks):
+                yield self.decompress_block(index)
+            return
+        from ..pipeline.executor import StreamExecutor
+        yield from StreamExecutor(self.archive, workers=workers,
+                                  backend=backend, prefetch=prefetch,
+                                  decompressor=self)
+
+    def _decompress_blocked(self, workers: int = 1) -> ReadSet:
         reads: list[Read] = []
-        for block_set in self.iter_block_read_sets():
+        for block_set in self.iter_block_read_sets(workers=workers):
             reads.extend(block_set)
         return ReadSet(reads, name=self.archive.name or "sage")
 

@@ -148,6 +148,23 @@ class ReadSet:
         return ReadSet(picked, name=self.name)
 
 
+def iter_reads(reads: ReadSet | Iterable[ReadSet]) -> Iterator[Read]:
+    """Flatten a materialized read set or a stream of read-set blocks.
+
+    The shared dispatch rule of the streaming analysis entry points
+    (:func:`repro.analysis.properties.analyze`,
+    :func:`repro.analysis.variants.pileup`): a :class:`ReadSet` yields
+    its own reads; any other iterable is treated as blocks of reads —
+    the shape produced by the streaming decoders'
+    ``iter_block_read_sets``.
+    """
+    if isinstance(reads, ReadSet):
+        yield from reads
+    else:
+        for block in reads:
+            yield from block
+
+
 def partition_reads(reads: Iterable[Read], block_reads: int,
                     name: str = "") -> Iterator[ReadSet]:
     """Chunk a read stream into :class:`ReadSet` blocks in input order.

@@ -18,6 +18,8 @@ from __future__ import annotations
 
 from dataclasses import dataclass, field
 
+import numpy as np
+
 from ..core.bitio import BitReader
 from ..core.container import SAGeArchive
 from ..core.decompressor import SAGeDecompressor
@@ -172,6 +174,39 @@ class SAGeHardwareModel:
             merged = [Read(r.codes, header=f"hw.{i}")
                       for i, r in enumerate(merged)]
         return ReadSet(merged, name=archive.name), total
+
+    # ------------------------------------------------------------------
+    # Validation against the software decoders
+    # ------------------------------------------------------------------
+
+    def verify(self, archive: SAGeArchive, *, workers: int = 1) -> bool:
+        """Check functional equivalence with the software decode path.
+
+        Runs the cycle-accounted hardware decode and the (optionally
+        parallel, ``workers > 1``) streaming software decode and compares
+        base codes and quality scores read by read.  Headers are not
+        compared: the hardware path re-enumerates fallback names.
+        Returns ``True`` on success and raises :class:`ValueError` on
+        the first mismatch — equivalence is the §5.2 contract that the
+        SU/RCU walk *is* the reference decoder.
+        """
+        hw_reads, _ = self.run(archive)
+        sw_reads = SAGeDecompressor(archive).decompress(workers=workers)
+        if len(hw_reads) != len(sw_reads):
+            raise ValueError(
+                f"hardware model decoded {len(hw_reads)} reads, software "
+                f"decoder {len(sw_reads)}")
+        for i, (hw, sw) in enumerate(zip(hw_reads, sw_reads)):
+            if not np.array_equal(hw.codes, sw.codes):
+                raise ValueError(f"read {i}: base codes diverge between "
+                                 "hardware model and software decoder")
+            if (hw.quality is None) != (sw.quality is None) or (
+                    hw.quality is not None
+                    and not np.array_equal(hw.quality, sw.quality)):
+                raise ValueError(f"read {i}: quality scores diverge "
+                                 "between hardware model and software "
+                                 "decoder")
+        return True
 
     # ------------------------------------------------------------------
     # Rate model

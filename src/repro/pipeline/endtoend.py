@@ -249,10 +249,23 @@ def speedup_over(prep_name: str, baseline: str, dataset: DatasetModel,
 
 
 def geometric_mean(values: list[float]) -> float:
-    """GMean used throughout the paper's figures."""
+    """GMean used throughout the paper's figures.
+
+    Small inputs keep the exact running-product result; when the
+    product over- or underflows a float (long lists of large/small
+    speedups), the mean is accumulated in log space instead.
+    """
+    values = list(values)
     if not values:
         raise ValueError("need at least one value")
+    if any(v < 0 for v in values):
+        raise ValueError("geometric mean needs non-negative values")
+    if any(v == 0 for v in values):
+        return 0.0
     product = 1.0
     for v in values:
         product *= v
-    return product ** (1.0 / len(values))
+    if 0.0 < product < math.inf:
+        return product ** (1.0 / len(values))
+    return math.exp(math.fsum(math.log(v) for v in values)
+                    / len(values))

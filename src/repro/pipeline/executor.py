@@ -1,0 +1,404 @@
+"""Overlapped streaming execution engine: parallel block decode feeding
+pipelined analysis sinks.
+
+SAGe's central claim is that data preparation must *overlap* with
+analysis instead of serializing in front of it (§7): while batch *i* is
+being decompressed, the consumer analyzes batch *i−1*.  The analytical
+pipeline simulator (:mod:`repro.pipeline.stages`) models that overlap;
+this module executes it in software.
+
+A :class:`StreamExecutor` decodes the independently decodable blocks of
+a v3 :class:`~repro.core.container.SAGeArchive` through a pluggable
+backend (serial / thread pool / process pool) with bounded prefetch —
+the same ``INFLIGHT_PER_WORKER`` backpressure policy as the compression
+engine in :mod:`repro.core.blocks` — and yields each block's
+:class:`~repro.genomics.reads.ReadSet` strictly in index order, so the
+concatenated output is byte-identical to a serial decode.  Consumers
+attach through the :class:`Sink` protocol: while a sink processes block
+*i*, blocks *i+1 … i+window* are already decoding in the workers.
+
+Memory stays bounded: at most ``workers * prefetch`` blocks are in
+flight, and the peak observed queue depth is recorded in
+:class:`ExecutorStats` so tests and benchmarks can assert that the full
+dataset is never materialized.
+"""
+
+from __future__ import annotations
+
+import time
+import warnings
+from concurrent.futures import Executor, ProcessPoolExecutor, \
+    ThreadPoolExecutor
+from dataclasses import dataclass
+from typing import Iterable, Iterator, Protocol, runtime_checkable
+
+import numpy as np
+
+from ..core.blocks import INFLIGHT_PER_WORKER, imap_bounded
+from ..core.container import SAGeArchive, SAGeBlock, block_as_archive
+from ..core.decompressor import SAGeDecompressor, \
+    renumber_fallback_headers
+from ..core.formats import unpack_bits
+from ..genomics import fastq
+from ..genomics.reads import Read, ReadSet
+from ..mapping.mapper import MapperConfig, ReadMapper
+
+__all__ = ["BACKENDS", "CollectSink", "ExecutorStats", "FastqSink",
+           "MappingRateReport", "MappingRateSink", "PropertySink", "Sink",
+           "StreamExecutor", "stream_read_sets"]
+
+#: Recognized decode backends.  ``auto`` picks ``serial`` for one worker
+#: and ``process`` (with graceful fallback) otherwise.
+BACKENDS = ("auto", "serial", "thread", "process")
+
+
+@dataclass
+class ExecutorStats:
+    """Accounting from one streaming pass over an archive."""
+
+    blocks: int = 0
+    reads: int = 0
+    bases: int = 0
+    peak_inflight: int = 0      # peak decoded-block queue depth
+    wall_s: float = 0.0
+
+    def note_depth(self, depth: int) -> None:
+        self.peak_inflight = max(self.peak_inflight, depth)
+
+
+@runtime_checkable
+class Sink(Protocol):
+    """A pipelined consumer of decoded blocks.
+
+    ``consume`` is called once per block, in index order, while later
+    blocks are still decoding in the executor's workers; ``finish`` is
+    called after the last block and returns the sink's result.
+    """
+
+    def consume(self, index: int, block: ReadSet) -> None:
+        ...  # pragma: no cover - protocol
+
+    def finish(self) -> object:
+        ...  # pragma: no cover - protocol
+
+
+# ----------------------------------------------------------------------
+# Process-pool plumbing.  The shared consensus and global archive fields
+# ship once per worker via the pool initializer; per-block submissions
+# carry only the block's payload bytes (mirroring repro.core.blocks).
+# ----------------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class _ArchiveTemplate:
+    """The picklable global state a worker needs to decode any block."""
+
+    level: object
+    consensus_stream: tuple[bytes, int]
+    consensus_length: int
+    w_cons: int
+    preserve_order: bool
+    name: str
+    source_version: int
+
+
+#: (template, unpacked consensus) installed by the pool initializer.
+_decode_state: tuple[_ArchiveTemplate, np.ndarray] | None = None
+
+
+def _init_decode_worker(template: _ArchiveTemplate) -> None:
+    """Pool initializer: unpack the consensus once per process."""
+    global _decode_state
+    consensus = unpack_bits(template.consensus_stream[0], 2,
+                            template.consensus_length)
+    _decode_state = (template, consensus)
+
+
+def _decode_payload(template: _ArchiveTemplate, consensus: np.ndarray,
+                    payload: bytes, base_reads: int) -> ReadSet:
+    """Decode one serialized block payload against the shared consensus.
+
+    Pure function of its arguments — determinism here is what makes the
+    parallel decode byte-identical to the serial one.
+    """
+    blk = SAGeBlock.deserialize(payload)
+    view = block_as_archive(
+        blk, level=template.level,
+        consensus=template.consensus_stream,
+        consensus_length=template.consensus_length,
+        w_cons=template.w_cons,
+        preserve_order=template.preserve_order, name=template.name,
+        source_version=template.source_version)
+    decoded = SAGeDecompressor(view, consensus=consensus).decompress()
+    if blk.headers_blob is None:
+        decoded = renumber_fallback_headers(decoded, base_reads,
+                                            template.name)
+    return decoded
+
+
+def _decode_task(task: tuple[bytes, int]) -> ReadSet:
+    """Process-pool entry point; reads the initializer-installed state."""
+    assert _decode_state is not None, "worker initializer did not run"
+    template, consensus = _decode_state
+    return _decode_payload(template, consensus, *task)
+
+
+class StreamExecutor:
+    """Decodes an archive's blocks with bounded prefetch, in order.
+
+    Parameters
+    ----------
+    archive:
+        The (ideally blocked v3) archive to decode.  Flat archives work
+        too — they are a single block, decoded serially.
+    workers:
+        Decode parallelism.  ``1`` is the serial reference path.
+    backend:
+        One of :data:`BACKENDS`.  ``auto`` (default) selects ``serial``
+        for one worker and ``process`` otherwise; ``thread`` trades
+        process-pool startup cost for GIL contention and suits archives
+        whose decode is I/O- or numpy-bound.
+    prefetch:
+        In-flight blocks per worker (default: the engine-wide
+        ``INFLIGHT_PER_WORKER``).  The decode window is
+        ``workers * prefetch``; memory is bounded by that many blocks.
+    decompressor:
+        An existing :class:`SAGeDecompressor` to reuse (its unpacked
+        consensus) on the serial and thread paths.
+    """
+
+    def __init__(self, archive: SAGeArchive, *, workers: int = 1,
+                 backend: str = "auto", prefetch: int | None = None,
+                 decompressor: SAGeDecompressor | None = None):
+        if workers < 1:
+            raise ValueError("workers must be >= 1")
+        if backend not in BACKENDS:
+            raise ValueError(f"unknown backend {backend!r}; "
+                             f"expected one of {BACKENDS}")
+        if prefetch is not None and prefetch < 1:
+            raise ValueError("prefetch must be >= 1")
+        self.archive = archive
+        self.workers = workers
+        self.backend = backend
+        self.prefetch = prefetch if prefetch is not None \
+            else INFLIGHT_PER_WORKER
+        self._decompressor = decompressor
+        self.stats = ExecutorStats()
+
+    # ------------------------------------------------------------------
+    # Public API
+    # ------------------------------------------------------------------
+
+    @property
+    def window(self) -> int:
+        """Maximum blocks in flight (submitted but not yet consumed)."""
+        return max(1, self.workers * self.prefetch)
+
+    @property
+    def resolved_backend(self) -> str:
+        """The backend this configuration actually executes with."""
+        if self.archive.n_blocks == 1:
+            return "serial"       # a single section has nothing to overlap
+        if self.backend != "auto":
+            return self.backend
+        return "serial" if self.workers == 1 else "process"
+
+    def decompressor(self) -> SAGeDecompressor:
+        if self._decompressor is None:
+            self._decompressor = SAGeDecompressor(self.archive)
+        return self._decompressor
+
+    def __iter__(self) -> Iterator[ReadSet]:
+        """Yield each block's reads in index order.
+
+        Statistics of the pass accumulate in :attr:`stats` (reset at the
+        start of every iteration).
+        """
+        self.stats = ExecutorStats()
+        start = time.perf_counter()
+        backend = self.resolved_backend
+        if backend == "serial":
+            source = self._iter_serial()
+        elif backend == "thread":
+            source = self._iter_threaded()
+        else:
+            source = self._iter_process()
+        try:
+            for block in source:
+                yield block
+        finally:
+            self.stats.wall_s = time.perf_counter() - start
+
+    def run(self, *sinks: Sink) -> list:
+        """Drive the stream through ``sinks`` and collect their results.
+
+        Each decoded block is handed to every sink in order; with
+        ``workers > 1`` the sinks process block *i* while blocks
+        *i+1 … i+window* are still decoding — the software realization
+        of the paper's prep/analysis overlap.
+        """
+        if not sinks:
+            raise ValueError("need at least one sink")
+        for index, block in enumerate(self):
+            for sink in sinks:
+                sink.consume(index, block)
+        return [sink.finish() for sink in sinks]
+
+    # ------------------------------------------------------------------
+    # Backends
+    # ------------------------------------------------------------------
+
+    def _account(self, block: ReadSet) -> ReadSet:
+        self.stats.blocks += 1
+        self.stats.reads += len(block)
+        self.stats.bases += block.total_bases
+        return block
+
+    def _iter_serial(self) -> Iterator[ReadSet]:
+        decoder = self.decompressor()
+        for index in range(self.archive.n_blocks):
+            self.stats.note_depth(1)
+            yield self._account(decoder.decompress_block(index))
+
+    def _iter_threaded(self) -> Iterator[ReadSet]:
+        decoder = self.decompressor()
+        if self.archive.is_blocked:
+            self.archive.block_index()       # pre-build: no lazy races
+        with ThreadPoolExecutor(max_workers=self.workers) as pool:
+            yield from self._drain(pool, decoder.decompress_block,
+                                   range(self.archive.n_blocks))
+
+    def _iter_process(self) -> Iterator[ReadSet]:
+        arch = self.archive
+        template = _ArchiveTemplate(
+            level=arch.level,
+            consensus_stream=arch.streams["consensus"],
+            consensus_length=arch.consensus_length, w_cons=arch.w_cons,
+            preserve_order=arch.preserve_order, name=arch.name,
+            source_version=arch.source_version)
+        index = arch.block_index()
+
+        def tasks() -> Iterator[tuple[bytes, int]]:
+            base = 0
+            for i, entry in enumerate(index):
+                yield arch.block_payload(i), base
+                base += entry.n_reads
+
+        try:
+            pool = ProcessPoolExecutor(
+                max_workers=self.workers,
+                initializer=_init_decode_worker, initargs=(template,))
+        except (OSError, PermissionError) as exc:  # pragma: no cover
+            warnings.warn(f"process pool unavailable ({exc}); "
+                          "falling back to serial block decode",
+                          RuntimeWarning, stacklevel=2)
+            yield from self._iter_serial()
+            return
+        with pool:
+            yield from self._drain(pool, _decode_task, tasks())
+
+    def _drain(self, pool: Executor, fn, items: Iterable
+               ) -> Iterator[ReadSet]:
+        for block in imap_bounded(pool, fn, items, self.window,
+                                  depth_probe=self.stats.note_depth):
+            yield self._account(block)
+
+
+def stream_read_sets(archive: SAGeArchive, *, workers: int = 1,
+                     backend: str = "auto",
+                     prefetch: int | None = None) -> Iterator[ReadSet]:
+    """One-shot convenience wrapper: iterate an archive's blocks."""
+    return iter(StreamExecutor(archive, workers=workers, backend=backend,
+                               prefetch=prefetch))
+
+
+# ----------------------------------------------------------------------
+# Sinks
+# ----------------------------------------------------------------------
+
+
+class FastqSink:
+    """Streams decoded reads to a FASTQ text handle, block by block.
+
+    Output is identical to ``fastq.write_file`` on the materialized
+    dataset: the global read index keeps fallback read names stable.
+    """
+
+    def __init__(self, handle):
+        self.handle = handle
+        self.n_reads = 0
+
+    def consume(self, index: int, block: ReadSet) -> None:
+        for read in block:
+            self.handle.write(fastq.format_read(read, self.n_reads))
+            self.n_reads += 1
+
+    def finish(self) -> int:
+        return self.n_reads
+
+
+class CollectSink:
+    """Materializes the stream into one :class:`ReadSet` (for tests and
+    consumers that genuinely need the whole dataset)."""
+
+    def __init__(self):
+        self._reads: list[Read] = []
+        self._name = ""
+
+    def consume(self, index: int, block: ReadSet) -> None:
+        if not self._name and block.name:
+            self._name = block.name
+        self._reads.extend(block)
+
+    def finish(self) -> ReadSet:
+        return ReadSet(self._reads, name=self._name)
+
+
+@dataclass
+class MappingRateReport:
+    """Outcome of a streaming mapping-rate pass."""
+
+    n_reads: int = 0
+    n_mapped: int = 0
+
+    @property
+    def n_unmapped(self) -> int:
+        return self.n_reads - self.n_mapped
+
+    @property
+    def mapping_rate(self) -> float:
+        return self.n_mapped / max(1, self.n_reads)
+
+
+class MappingRateSink:
+    """Maps every streamed read and tallies the mapping rate."""
+
+    def __init__(self, reference: np.ndarray,
+                 mapper_config: MapperConfig | None = None):
+        self._mapper = ReadMapper(np.asarray(reference, dtype=np.uint8),
+                                  mapper_config)
+        self._report = MappingRateReport()
+
+    def consume(self, index: int, block: ReadSet) -> None:
+        for read in block:
+            self._report.n_reads += 1
+            if not self._mapper.map_read(read.codes).unmapped:
+                self._report.n_mapped += 1
+
+    def finish(self) -> MappingRateReport:
+        return self._report
+
+
+class PropertySink:
+    """Streams blocks into the Fig. 7 / Fig. 10 property analysis."""
+
+    def __init__(self, reference: np.ndarray,
+                 mapper_config: MapperConfig | None = None):
+        from ..analysis.properties import PropertyAccumulator
+        self._accumulator = PropertyAccumulator(reference, mapper_config)
+
+    def consume(self, index: int, block: ReadSet) -> None:
+        self._accumulator.consume(block)
+
+    def finish(self):
+        return self._accumulator.report()

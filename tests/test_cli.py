@@ -87,6 +87,77 @@ class TestBlockedCompress:
         assert one.read_bytes() == four.read_bytes()
 
 
+class TestDecompressWorkers:
+    @pytest.fixture()
+    def blocked(self, workdir):
+        archive = workdir / "blocked.sage"
+        main(["compress", str(workdir / "reads.fastq"),
+              str(workdir / "ref.txt"), str(archive),
+              "--block-reads", "16"])
+        return archive
+
+    def test_workers_byte_identical_fastq(self, blocked, workdir):
+        outs = {}
+        for n in (1, 4):
+            out = workdir / f"dec{n}.fastq"
+            assert main(["decompress", str(blocked), str(out),
+                         "--workers", str(n)]) == 0
+            outs[n] = out.read_bytes()
+        assert outs[1] == outs[4]
+
+    def test_workers_match_plain_decompress(self, blocked, workdir,
+                                            rs3_small):
+        out = workdir / "par.fastq"
+        assert main(["decompress", str(blocked), str(out),
+                     "--workers", "2"]) == 0
+        decoded = fastq.read_file(out)
+        assert read_multiset(decoded) == read_multiset(rs3_small.read_set)
+
+    def test_invalid_workers(self, blocked, workdir):
+        with pytest.raises(SystemExit):
+            main(["decompress", str(blocked),
+                  str(workdir / "x.fastq"), "--workers", "0"])
+
+
+class TestAnalyze:
+    @pytest.fixture()
+    def blocked(self, workdir):
+        archive = workdir / "blocked.sage"
+        main(["compress", str(workdir / "reads.fastq"),
+              str(workdir / "ref.txt"), str(archive),
+              "--block-reads", "16"])
+        return archive
+
+    def test_property_analysis_json(self, blocked, rs3_small, capsys):
+        import json
+        capsys.readouterr()
+        assert main(["analyze", str(blocked), "--workers", "2",
+                     "--json"]) == 0
+        info = json.loads(capsys.readouterr().out)
+        assert info["n_reads"] == len(rs3_small.read_set)
+        assert info["n_mapped"] + info["n_unmapped"] == info["n_reads"]
+        assert 0.0 < info["mapping_rate"] <= 1.0
+        assert sum(info["mismatch_count_hist"]) == info["n_mapped"]
+        assert info["stream"]["blocks"] > 1
+        assert info["stream"]["peak_inflight_blocks"] >= 1
+
+    def test_mapping_rate_only(self, blocked, rs3_small, capsys):
+        import json
+        capsys.readouterr()
+        assert main(["analyze", str(blocked), "--mapping-rate",
+                     "--json"]) == 0
+        info = json.loads(capsys.readouterr().out)
+        assert info["n_reads"] == len(rs3_small.read_set)
+        assert "mismatch_count_hist" not in info
+
+    def test_text_output(self, blocked, capsys):
+        capsys.readouterr()
+        assert main(["analyze", str(blocked)]) == 0
+        out = capsys.readouterr().out
+        assert "mapping rate" in out
+        assert "peak in-flight blocks" in out
+
+
 class TestCat:
     @pytest.fixture()
     def blocked(self, workdir):
@@ -145,6 +216,28 @@ class TestInspectJson:
         assert info["stream_bits"]["consensus"] > 0
         assert all(b["bytes"] > 0 and b["offset"] > 0
                    for b in info["blocks"])
+
+    def test_json_per_block_sections(self, workdir, capsys):
+        """Each block reports read counts + compressed section sizes."""
+        import json
+        archive = workdir / "reads.sage"
+        main(["compress", str(workdir / "reads.fastq"),
+              str(workdir / "ref.txt"), str(archive),
+              "--block-reads", "16"])
+        capsys.readouterr()
+        assert main(["inspect", str(archive), "--json"]) == 0
+        info = json.loads(capsys.readouterr().out)
+        for block in info["blocks"]:
+            assert block["n_reads"] \
+                == block["n_mapped"] + block["n_unmapped"]
+            sections = block["sections"]
+            assert sections["stream_bytes"] > 0
+            assert sections["meta_bytes"] > 0
+            assert sections["quality_bytes"] > 0      # default keeps Q
+            # Section sizes never exceed the indexed payload size.
+            assert sum(sections.values()) <= block["bytes"]
+            assert block["stream_bits"]["mbta"] >= 0
+            assert "consensus" not in block["stream_bits"]
 
 
 class TestSimulate:

@@ -67,6 +67,37 @@ class TestHardwareModel:
             == pytest.approx(ascii_tp.effective_output_bytes_per_s / 4)
 
 
+class TestHardwareVerify:
+    @pytest.fixture(scope="class")
+    def blocked(self, rs3_small):
+        from repro.core import SAGeArchive, compress_blocked
+        archive = compress_blocked(rs3_small.read_set,
+                                   rs3_small.reference,
+                                   SAGeConfig(), block_reads=16)
+        return SAGeArchive.from_bytes(archive.to_bytes())
+
+    def test_verify_against_serial_decoder(self, archive):
+        assert SAGeHardwareModel(pcie_ssd()).verify(archive)
+
+    def test_verify_against_parallel_decoder(self, blocked):
+        """Functional model output == parallel streaming decode."""
+        hw = SAGeHardwareModel(pcie_ssd())
+        assert hw.verify(blocked, workers=2)
+
+    def test_verify_detects_divergence(self, blocked, rs2_small):
+        other = SAGeCompressor(rs2_small.reference,
+                               SAGeConfig(with_quality=False)) \
+            .compress(rs2_small.read_set)
+        hw = SAGeHardwareModel(pcie_ssd())
+
+        class Lying(SAGeHardwareModel):
+            def run(self, archive):
+                return SAGeHardwareModel.run(hw, other)
+
+        with pytest.raises(ValueError):
+            Lying(pcie_ssd()).verify(blocked, workers=2)
+
+
 class TestAreaPower:
     def test_table1_totals(self):
         # Paper: 0.002 mm² and 0.49 mW (+0.28 mW mode 3) at 8 channels.

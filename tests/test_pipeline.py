@@ -61,6 +61,69 @@ class TestPipelineSimulator:
             simulate_pipeline([Stage("a", 0.0)], 10.0)
 
 
+class TestSteadyStateThroughput:
+    STAGES = [Stage("io", 120.0), Stage("prep", 30.0),
+              Stage("analysis", 75.0)]
+
+    def test_simulated_throughput_converges(self):
+        """simulate_pipeline -> steady_state_throughput as batches grow.
+
+        The fill/drain transient shrinks like 1/n_batches, so measured
+        throughput approaches the slowest stage's rate from below.
+        """
+        target = steady_state_throughput(self.STAGES)
+        errors = []
+        for n_batches in (2, 8, 64, 512):
+            result = simulate_pipeline(self.STAGES, 1000.0, n_batches)
+            assert result.throughput_units_per_s <= target + 1e-9
+            errors.append(target - result.throughput_units_per_s)
+        assert errors == sorted(errors, reverse=True)
+        assert errors[-1] < 0.01 * target
+
+    def test_bottleneck_names_slowest_stage(self):
+        result = simulate_pipeline(self.STAGES, 1000.0, n_batches=64)
+        slowest = min(self.STAGES, key=lambda s: s.rate_units_per_s)
+        assert result.bottleneck == slowest.name == "prep"
+
+    def test_bottleneck_tracks_rate_changes(self):
+        stages = [Stage("io", 5.0), Stage("prep", 50.0),
+                  Stage("analysis", 75.0)]
+        result = simulate_pipeline(stages, 1000.0, n_batches=64)
+        assert result.bottleneck == "io"
+        assert steady_state_throughput(stages) == 5.0
+
+
+class TestGeometricMean:
+    def test_matches_product_for_small_inputs(self):
+        values = [2.0, 8.0]
+        assert geometric_mean(values) == (2.0 * 8.0) ** 0.5
+        assert geometric_mean([7.25]) == 7.25
+
+    def test_long_large_list_no_overflow(self):
+        # 400 values of 1e300: the running product overflows to inf,
+        # but the gmean is exactly 1e300.
+        values = [1e300] * 400
+        assert geometric_mean(values) == pytest.approx(1e300, rel=1e-12)
+
+    def test_long_small_list_no_underflow(self):
+        # The running product underflows to 0.0; gmean must not.
+        values = [1e-300] * 400
+        assert geometric_mean(values) == pytest.approx(1e-300, rel=1e-12)
+
+    def test_mixed_magnitudes(self):
+        values = [1e200, 1e-200] * 50
+        assert geometric_mean(values) == pytest.approx(1.0)
+
+    def test_zero_yields_zero(self):
+        assert geometric_mean([0.0, 10.0]) == 0.0
+
+    def test_rejects_empty_and_negative(self):
+        with pytest.raises(ValueError):
+            geometric_mean([])
+        with pytest.raises(ValueError):
+            geometric_mean([2.0, -1.0])
+
+
 class TestAccelerators:
     def test_gem_short_rate_from_paper(self):
         acc = gem()
