@@ -14,6 +14,7 @@ both environments.
 
 import os
 
+from repro.api import EngineOptions
 from repro.core import SAGeArchive, SAGeConfig
 from repro.core.blocks import BlockCompressor
 from repro.genomics import fastq
@@ -34,7 +35,8 @@ REPEATS = 2
 
 def _decode(archive: SAGeArchive, workers: int):
     """One full streaming pass; returns (text, stats)."""
-    executor = StreamExecutor(archive, workers=workers)
+    executor = StreamExecutor(archive,
+                              options=EngineOptions(workers=workers))
     collected = executor.run(CollectSink())[0]
     return fastq.write(collected), executor.stats
 
@@ -44,7 +46,8 @@ def test_fig19_stream_decode(benchmark, bench_sims):
     reads = ReadSet(list(sim.read_set) * REPEATS, name=sim.read_set.name)
     block_reads = max(1, len(reads) // N_BLOCKS_TARGET)
     engine = BlockCompressor(sim.reference, SAGeConfig(),
-                             block_reads=block_reads)
+                             options=EngineOptions(
+                                 block_reads=block_reads))
     blob = engine.compress(reads).to_bytes()
     archive = SAGeArchive.from_bytes(blob)
     assert archive.n_blocks >= 8

@@ -9,8 +9,8 @@ Run:  python examples/dataset_properties.py
 
 import numpy as np
 
+from repro import EngineOptions, SAGeDataset
 from repro.analysis import analyze
-from repro.core import SAGeCompressor, SAGeConfig
 from repro.genomics import datasets
 
 
@@ -54,9 +54,9 @@ def property_report(label: str, base_genome: int) -> None:
         print(f"  {bits:>2} bits {frac:6.1%} {ascii_bar(frac)}")
 
     # What Algorithm 1 does with those distributions:
-    archive = SAGeCompressor(sim.reference,
-                             SAGeConfig(with_quality=False)) \
-        .compress(sim.read_set)
+    archive = SAGeDataset.from_fastq(
+        sim.read_set, reference=sim.reference,
+        options=EngineOptions(with_quality=False)).archive
     print("Algorithm 1 tuned bit-width classes:")
     for key, table in archive.tables.items():
         print(f"  {key:<6} widths={table.widths}")

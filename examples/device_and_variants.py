@@ -9,9 +9,10 @@ to decompress quality scores on the host.
 Run:  python examples/device_and_variants.py
 """
 
+from repro import SAGeDataset
 from repro.analysis.variants import (call_variants, host_quality_headroom,
                                      pileup, quality_block_access)
-from repro.core import OutputFormat, SAGeCompressor, SAGeConfig
+from repro.core import OutputFormat
 from repro.genomics import datasets
 from repro.hardware.device import SAGeDevice
 from repro.hardware.ssd import pcie_ssd
@@ -21,9 +22,10 @@ def main() -> None:
     sim = datasets.generate("RS2", base_genome=15_000)
     device = SAGeDevice(ssd=pcie_ssd())
 
-    # SAGe_Write: compress and place with the striped genomic layout.
-    archive = SAGeCompressor(sim.reference, SAGeConfig()) \
-        .compress(sim.read_set)
+    # SAGe_Write: compress through the facade, place with the striped
+    # genomic layout.
+    archive = SAGeDataset.from_fastq(sim.read_set,
+                                     reference=sim.reference).archive
     nbytes = device.sage_write("cohort.sage", archive)
     report = device.layout_report("cohort.sage")
     print(f"SAGe_Write: {nbytes:,} B across {report['pages']} pages, "

@@ -1,46 +1,56 @@
-"""Quickstart: compress and decompress a read set with SAGe.
+"""Quickstart: the SAGeDataset facade — compress, persist, restore.
 
 Generates a synthetic analog of the paper's RS2 dataset (deep human
-short reads), compresses it against the reference, verifies losslessness,
-and prints the compression ratios and the per-category size breakdown.
+short reads), compresses it against the reference through the
+`SAGeDataset` session API, saves/reopens the archive, verifies
+losslessness, and prints the compression ratios and the per-category
+size breakdown.
 
 Run:  python examples/quickstart.py
 """
 
-from repro.core import (OutputFormat, SAGeCompressor, SAGeConfig,
-                        SAGeDecompressor)
-from repro.core.container import SAGeArchive
+import tempfile
+from pathlib import Path
+
+from repro import SAGeDataset
+from repro.core import OutputFormat
 from repro.core.formats import encode_output
 from repro.genomics import datasets
 
 
 def main() -> None:
-    # 1. A read set. Real users parse FASTQ (repro.genomics.fastq);
-    #    here we simulate the paper's RS2 analog.
+    # 1. A read set. Real users pass a FASTQ path straight to
+    #    SAGeDataset.from_fastq; here we simulate the RS2 analog.
     sim = datasets.generate("RS2", base_genome=20_000)
     read_set = sim.read_set
     print(f"read set: {len(read_set)} reads, "
           f"{read_set.total_bases:,} bases "
           f"({'fixed' if read_set.is_fixed_length else 'variable'} length)")
 
-    # 2. Compress against the reference (the consensus sequence).
-    compressor = SAGeCompressor(sim.reference, SAGeConfig())
-    archive = compressor.compress(read_set)
-    blob = archive.to_bytes()
+    # 2. Compress against the reference (the consensus sequence).  One
+    #    facade call replaces the compressor/config/archive plumbing.
+    dataset = SAGeDataset.from_fastq(read_set, reference=sim.reference)
+    blob = dataset.to_bytes()
 
-    dna_cr = read_set.total_bases / archive.dna_byte_size()
+    dna_cr = read_set.total_bases / dataset.archive.dna_byte_size()
     fastq_cr = read_set.uncompressed_fastq_bytes() / len(blob)
     print(f"compressed: {len(blob):,} B "
           f"(DNA ratio {dna_cr:.1f}x, whole-FASTQ ratio {fastq_cr:.1f}x)")
 
     # 3. Size breakdown (the Fig. 17 categories).
     print("size breakdown (bits):")
-    for category, bits in sorted(archive.breakdown.bits.items(),
+    for category, bits in sorted(dataset.archive.breakdown.bits.items(),
                                  key=lambda kv: -kv[1]):
         print(f"  {category:<16} {bits:>10,}")
 
-    # 4. Decompress — archives are self-contained byte blobs.
-    restored = SAGeDecompressor(SAGeArchive.from_bytes(blob)).decompress()
+    # 4. Persist and reopen — archives are self-contained byte blobs,
+    #    and an opened dataset is a context-managed session.
+    with tempfile.TemporaryDirectory() as tmp:
+        path = Path(tmp) / "rs2.sage"
+        nbytes = dataset.save(path)
+        assert nbytes == len(blob), "save() writes to_bytes() verbatim"
+        with SAGeDataset.open(path) as session:
+            restored = session.read_set()
     original = sorted(r.codes.tobytes() for r in read_set)
     decoded = sorted(r.codes.tobytes() for r in restored)
     assert original == decoded, "round trip must be lossless"

@@ -12,7 +12,7 @@ Run:  python examples/reference_free.py
 
 import numpy as np
 
-from repro.core import SAGeCompressor, SAGeConfig, SAGeDecompressor
+from repro import EngineOptions, SAGeDataset
 from repro.genomics.simulator import ReadSimulator, short_read_profile
 from repro.mapping.consensus import denovo_consensus
 
@@ -32,23 +32,24 @@ def main() -> None:
     print(f"de-novo consensus: {consensus.size:,} bases "
           f"(donor genome was {result.donor.sequence.size:,})")
 
-    # Compress against it.
-    archive = SAGeCompressor(consensus,
-                             SAGeConfig(with_quality=False)) \
-        .compress(read_set)
+    # Compress against it — the facade takes any consensus array.
+    options = EngineOptions(with_quality=False)
+    dataset = SAGeDataset.from_fastq(read_set, reference=consensus,
+                                     options=options)
+    archive = dataset.archive
     cr = read_set.total_bases / archive.dna_byte_size()
     print(f"DNA compression ratio (reference-free): {cr:.1f}x "
           f"({archive.n_unmapped} reads stored raw)")
 
-    restored = SAGeDecompressor(archive).decompress()
+    restored = dataset.read_set()
     assert sorted(r.codes.tobytes() for r in restored) \
         == sorted(r.codes.tobytes() for r in read_set)
     print("round trip: lossless")
 
     # Reference mode for comparison.
-    ref_archive = SAGeCompressor(result.reference,
-                                 SAGeConfig(with_quality=False)) \
-        .compress(read_set)
+    ref_archive = SAGeDataset.from_fastq(read_set,
+                                         reference=result.reference,
+                                         options=options).archive
     ref_cr = read_set.total_bases / ref_archive.dna_byte_size()
     print(f"with the true reference instead: {ref_cr:.1f}x")
 

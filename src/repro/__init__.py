@@ -7,22 +7,36 @@ the full system: the SAGe codec and hardware model, the genomic data
 substrate, baseline compressors, SSD/DRAM/interconnect models, and the
 end-to-end pipeline evaluation used to regenerate the paper's figures.
 
-Quickstart::
+Quickstart — the :class:`SAGeDataset` facade is the one API over
+archives, streams, sinks and engine options::
 
-    from repro import genomics, core
+    from repro import EngineOptions, SAGeDataset, genomics
+
     sim = genomics.datasets.generate("RS2", base_genome=20_000)
-    archive = core.compress(sim.read_set, sim.reference)
-    reads = core.decompress(archive)
+    options = EngineOptions(block_reads=4096, workers=4)
+    dataset = SAGeDataset.from_fastq(sim.read_set,
+                                     reference=sim.reference,
+                                     options=options)
+    dataset.save("reads.sage")
+
+    with SAGeDataset.open("reads.sage", options=options) as ds:
+        report, rate = ds.pipe("property").pipe("mapping-rate").run()
+        reads = ds.read_set()            # lossless round trip
 """
 
 from . import analysis, baselines, core, genomics, hardware, mapping, pipeline
+from . import api
+from .api import (EngineOptions, Pipeline, SAGeDataset, available_sinks,
+                  make_sink, register_sink)
 from .core import (OptLevel, SAGeArchive, SAGeCompressor, SAGeConfig,
                    SAGeDecompressor, compress, decompress)
 
-__version__ = "1.0.0"
+__version__ = "1.1.0"
 
 __all__ = [
-    "analysis", "baselines", "core", "genomics", "hardware", "mapping",
-    "pipeline", "OptLevel", "SAGeArchive", "SAGeCompressor", "SAGeConfig",
-    "SAGeDecompressor", "compress", "decompress", "__version__",
+    "analysis", "api", "baselines", "core", "genomics", "hardware",
+    "mapping", "pipeline", "EngineOptions", "Pipeline", "SAGeDataset",
+    "available_sinks", "make_sink", "register_sink", "OptLevel",
+    "SAGeArchive", "SAGeCompressor", "SAGeConfig", "SAGeDecompressor",
+    "compress", "decompress", "__version__",
 ]

@@ -1,0 +1,32 @@
+"""Process-wide deprecation bookkeeping for legacy entry points.
+
+The facade (:mod:`repro.api`) supersedes the loose per-call keyword
+arguments that used to be spread over ``core.blocks``,
+``core.decompressor`` and ``pipeline.executor``.  The old signatures
+keep working but emit a :class:`DeprecationWarning` — exactly once per
+process per call shape, so a tight loop over a deprecated API does not
+drown the console.
+
+This module lives at the package root (not under ``repro.api``) so that
+``core`` and ``pipeline`` modules can import it at module level without
+touching the facade package, whose import would recurse back into them.
+"""
+
+from __future__ import annotations
+
+import warnings
+
+_warned: set[str] = set()
+
+
+def warn_once(key: str, message: str, *, stacklevel: int = 3) -> None:
+    """Emit a :class:`DeprecationWarning` for ``key`` once per process."""
+    if key in _warned:
+        return
+    _warned.add(key)
+    warnings.warn(message, DeprecationWarning, stacklevel=stacklevel)
+
+
+def reset_deprecation_warnings() -> None:
+    """Forget which deprecations already fired (test isolation hook)."""
+    _warned.clear()

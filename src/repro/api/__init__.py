@@ -1,0 +1,29 @@
+"""repro.api — the :class:`SAGeDataset` session facade.
+
+One stable API over archives, streams, sinks and engine options: the
+CLI, the examples, the benchmarks, the end-to-end model and the
+hardware verification all sit on this package instead of re-wiring the
+compressor/decompressor/executor plumbing themselves.
+
+    from repro.api import EngineOptions, SAGeDataset
+
+    ds = SAGeDataset.from_fastq("in.fastq", reference="ref.txt",
+                                options=EngineOptions(workers=4,
+                                                      block_reads=4096))
+    ds.save("reads.sage")
+    with SAGeDataset.open("reads.sage") as ds:
+        report, rate = ds.pipe("property").pipe("mapping-rate").run()
+"""
+
+from .._compat import reset_deprecation_warnings
+from .dataset import Pipeline, SAGeDataset, SourceTotals
+from .options import EngineOptions, resolve_stream_options
+from .sinks import (CallableSink, available_sinks, make_sink,
+                    register_sink, unregister_sink)
+
+__all__ = [
+    "CallableSink", "EngineOptions", "Pipeline", "SAGeDataset",
+    "SourceTotals", "available_sinks", "make_sink", "register_sink",
+    "reset_deprecation_warnings", "resolve_stream_options",
+    "unregister_sink",
+]

@@ -1,0 +1,369 @@
+"""The :class:`SAGeDataset` facade: one session API over the system.
+
+SAGe's value proposition is that compressed genomic data stays
+*directly analyzable* — data preparation overlaps analysis instead of
+preceding it (§7).  Before this facade, every consumer re-wired the
+same plumbing by hand: ``SAGeCompressor``/``BlockCompressor`` on the
+way in, ``SAGeDecompressor``/``StreamExecutor`` plus sink objects on
+the way out, with worker/backend/prefetch kwargs repeated at each
+layer.  ``SAGeDataset`` is the single stable entry point the CLI,
+examples, benchmarks and future server/sharding layers sit on:
+
+    from repro.api import EngineOptions, SAGeDataset
+
+    options = EngineOptions(block_reads=4096, workers=4)
+    dataset = SAGeDataset.from_fastq("in.fastq", reference="ref.txt",
+                                     options=options)
+    dataset.save("reads.sage")
+
+    with SAGeDataset.open("reads.sage", options=options) as ds:
+        report, rate = ds.pipe("property").pipe("mapping-rate").run()
+        for block in ds.blocks():        # block i while i+1 decodes
+            ...
+
+Everything executes on the existing engines — the block compressor,
+the streaming executor, the reference decompressor — so output stays
+byte-identical to the legacy call paths, which now forward here.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Iterable, Iterator
+
+import numpy as np
+
+from ..core.blocks import BlockCompressor
+from ..core.compressor import SAGeCompressor, SAGeConfig
+from ..core.container import SAGeArchive
+from ..core.decompressor import SAGeDecompressor
+from ..genomics import fastq
+from ..genomics import sequence as seqmod
+from ..genomics.reads import Read, ReadSet
+from ..pipeline.executor import ExecutorStats, FastqSink, Sink, \
+    StreamExecutor
+from .options import EngineOptions
+from .sinks import resolve_sink
+
+__all__ = ["Pipeline", "SAGeDataset", "SourceTotals"]
+
+
+@dataclass(frozen=True)
+class SourceTotals:
+    """Input accounting gathered while compressing a source."""
+
+    reads: int
+    bases: int
+    fastq_bytes: int
+
+
+def _totals_of(read_set: ReadSet) -> SourceTotals:
+    return SourceTotals(reads=len(read_set),
+                        bases=read_set.total_bases,
+                        fastq_bytes=read_set.uncompressed_fastq_bytes())
+
+
+def _as_consensus(reference) -> np.ndarray:
+    """Normalize a reference spec into consensus base codes.
+
+    Accepts an array of A/C/G/T codes or a path to a plain-ACGT text
+    file (the ``sage compress`` consensus file format).
+    """
+    if isinstance(reference, (str, Path)):
+        text = Path(reference).read_text(encoding="ascii") \
+            .strip().replace("\n", "")
+        return seqmod.encode(text)
+    return np.asarray(reference, dtype=np.uint8)
+
+
+class SAGeDataset:
+    """One session over a SAGe-compressed read set.
+
+    Construct with :meth:`from_fastq` (compress a source) or
+    :meth:`open` (load an archive; usable as a context manager).  The
+    dataset owns the engine wiring: streaming iteration
+    (:meth:`blocks` / :meth:`reads`), FASTQ export (:meth:`to_fastq`),
+    sink analysis (:meth:`analyze`, :meth:`pipe`), and persistence
+    (:meth:`save`).  ``options`` (:class:`EngineOptions`) set the
+    session's parallelism once instead of per call.
+    """
+
+    def __init__(self, archive: SAGeArchive, *,
+                 options: EngineOptions | None = None,
+                 path: str | Path | None = None,
+                 decompressor: SAGeDecompressor | None = None,
+                 source_totals: SourceTotals | None = None):
+        if not isinstance(archive, SAGeArchive):
+            raise TypeError(
+                f"SAGeDataset wraps a SAGeArchive, got {type(archive)!r}")
+        self._archive = archive
+        self.options = options if options is not None else EngineOptions()
+        self.path = Path(path) if path is not None else None
+        self.source_totals = source_totals
+        self._decompressor = decompressor
+        self._last_executor: StreamExecutor | None = None
+        self._closed = False
+
+    # ------------------------------------------------------------------
+    # Constructors
+    # ------------------------------------------------------------------
+
+    @classmethod
+    def from_fastq(cls, source, *, reference,
+                   options: EngineOptions | None = None,
+                   config: SAGeConfig | None = None) -> "SAGeDataset":
+        """Compress ``source`` against ``reference`` into a dataset.
+
+        ``source`` may be a FASTQ file path (streamed, never
+        materialized when blocking), a :class:`ReadSet`, or an iterable
+        of pre-chunked :class:`ReadSet` blocks (each chunk becomes one
+        independently decodable block).  ``reference`` is an array of
+        consensus base codes or a path to an ACGT text file.  ``config``
+        overrides the :class:`SAGeConfig` derived from ``options``.
+        """
+        options = options if options is not None else EngineOptions()
+        consensus = _as_consensus(reference)
+        cfg = config if config is not None else options.compressor_config()
+        totals: SourceTotals | None = None
+
+        if isinstance(source, ReadSet):
+            totals = _totals_of(source)
+            if options.blocked:
+                archive = BlockCompressor(consensus, cfg,
+                                          options=options).compress(source)
+            else:
+                archive = SAGeCompressor(consensus, cfg).compress(source)
+        elif isinstance(source, (str, Path)):
+            if options.blocked:
+                archive, totals = cls._compress_stream(
+                    fastq.iter_read_sets(source,
+                                         options.effective_block_reads),
+                    consensus, cfg, options)
+            else:
+                read_set = fastq.read_file(source)
+                totals = _totals_of(read_set)
+                archive = SAGeCompressor(consensus, cfg).compress(read_set)
+        else:
+            # Pre-chunked stream: one block per yielded ReadSet.
+            archive, totals = cls._compress_stream(source, consensus,
+                                                   cfg, options)
+        return cls(archive, options=options, source_totals=totals)
+
+    @staticmethod
+    def _compress_stream(chunks: Iterable[ReadSet],
+                         consensus: np.ndarray, config: SAGeConfig,
+                         options: EngineOptions
+                         ) -> tuple[SAGeArchive, SourceTotals]:
+        counted = {"reads": 0, "bases": 0, "fastq": 0}
+
+        def accounted() -> Iterator[ReadSet]:
+            for chunk in chunks:
+                counted["reads"] += len(chunk)
+                counted["bases"] += chunk.total_bases
+                counted["fastq"] += chunk.uncompressed_fastq_bytes()
+                yield chunk
+
+        archive = BlockCompressor(consensus, config, options=options) \
+            .compress(accounted())
+        return archive, SourceTotals(reads=counted["reads"],
+                                     bases=counted["bases"],
+                                     fastq_bytes=counted["fastq"])
+
+    @classmethod
+    def open(cls, path: str | Path, *,
+             options: EngineOptions | None = None) -> "SAGeDataset":
+        """Open an archive file as a dataset session.
+
+        The blob is read once; per-block payloads parse lazily on
+        access, so opening a large archive and touching one block reads
+        only that block's bytes.  Usable as a context manager.
+        """
+        blob = Path(path).read_bytes()
+        return cls(SAGeArchive.from_bytes(blob), options=options,
+                   path=path)
+
+    # ------------------------------------------------------------------
+    # Session lifecycle
+    # ------------------------------------------------------------------
+
+    def __enter__(self) -> "SAGeDataset":
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> bool:
+        self.close()
+        return False
+
+    def close(self) -> None:
+        """End the session: release cached decoders and executors."""
+        self._closed = True
+        self._decompressor = None
+        self._last_executor = None
+
+    @property
+    def closed(self) -> bool:
+        return self._closed
+
+    def _require_open(self) -> None:
+        if self._closed:
+            raise ValueError("dataset session is closed")
+
+    # ------------------------------------------------------------------
+    # Archive views
+    # ------------------------------------------------------------------
+
+    @property
+    def archive(self) -> SAGeArchive:
+        """The underlying in-memory archive."""
+        return self._archive
+
+    @property
+    def n_reads(self) -> int:
+        return self._archive.n_reads
+
+    @property
+    def n_blocks(self) -> int:
+        return self._archive.n_blocks
+
+    @property
+    def format_version(self) -> int:
+        """Container version the archive was loaded from (2 or 3)."""
+        return self._archive.source_version
+
+    @property
+    def consensus(self) -> np.ndarray:
+        """The unpacked consensus — also the default mapping reference."""
+        return self.decompressor().consensus
+
+    def decompressor(self) -> SAGeDecompressor:
+        """The session's (cached) reference decoder."""
+        self._require_open()
+        if self._decompressor is None:
+            self._decompressor = SAGeDecompressor(self._archive)
+        return self._decompressor
+
+    # ------------------------------------------------------------------
+    # Persistence
+    # ------------------------------------------------------------------
+
+    def to_bytes(self, *, version: int | None = None) -> bytes:
+        """Serialize the archive (default: the v3 blocked container)."""
+        if version is None:
+            return self._archive.to_bytes()
+        return self._archive.to_bytes(version)
+
+    def save(self, path: str | Path, *,
+             version: int | None = None) -> int:
+        """Write the archive to ``path``; returns the byte count."""
+        self._require_open()
+        blob = self.to_bytes(version=version)
+        Path(path).write_bytes(blob)
+        self.path = Path(path)
+        return len(blob)
+
+    # ------------------------------------------------------------------
+    # Streaming decode
+    # ------------------------------------------------------------------
+
+    def _make_executor(self, options: EngineOptions | None = None
+                       ) -> StreamExecutor:
+        self._require_open()
+        executor = StreamExecutor(
+            self._archive, options=options or self.options,
+            decompressor=self.decompressor())
+        self._last_executor = executor
+        return executor
+
+    @property
+    def stats(self) -> ExecutorStats | None:
+        """Accounting of the most recent streaming pass (or ``None``)."""
+        return self._last_executor.stats if self._last_executor else None
+
+    def blocks(self, *, options: EngineOptions | None = None
+               ) -> Iterator[ReadSet]:
+        """Yield each block's reads in index order (streaming decode).
+
+        With ``workers > 1`` in the session options, block *i* is
+        consumed while blocks *i+1 … i+window* are still decoding;
+        output is identical for every configuration.
+        """
+        return iter(self._make_executor(options))
+
+    def reads(self, *, options: EngineOptions | None = None
+              ) -> Iterator[Read]:
+        """Yield every read, flattened across the block stream."""
+        for block in self.blocks(options=options):
+            yield from block
+
+    def read_set(self, *, options: EngineOptions | None = None) -> ReadSet:
+        """Materialize the whole dataset as one :class:`ReadSet`."""
+        self._require_open()
+        return self.decompressor().decompress(
+            options=options or self.options)
+
+    def decode_block(self, index: int) -> ReadSet:
+        """Random access: decode only block ``index``."""
+        return self.decompressor().decompress_block(index)
+
+    def to_fastq(self, target, *,
+                 options: EngineOptions | None = None) -> int:
+        """Stream the dataset out as FASTQ; returns the read count.
+
+        ``target`` is a path or an open text handle.  Blocks are
+        written as they decode — the dataset is never materialized.
+        """
+        self._require_open()
+        if isinstance(target, (str, Path)):
+            with open(target, "w", encoding="ascii") as handle:
+                return self.to_fastq(handle, options=options)
+        [n_reads] = self._make_executor(options).run(FastqSink(target))
+        return n_reads
+
+    # ------------------------------------------------------------------
+    # Analysis
+    # ------------------------------------------------------------------
+
+    def analyze(self, *sinks, options: EngineOptions | None = None) -> list:
+        """One streaming pass through ``sinks``; returns their results.
+
+        Each sink may be a registered name (``"property"``,
+        ``"mapping-rate"``, …), a :class:`Sink` object, or a per-block
+        callable.  All sinks share a single decode pass: analysis of
+        block *i* overlaps the decode of later blocks.  Defaults to the
+        ``property`` sink when called with no arguments.
+        """
+        specs = sinks or ("property",)
+        return self.pipe(*specs).run(options=options)
+
+    def pipe(self, *sinks) -> "Pipeline":
+        """Start a fluent sink pipeline: ``ds.pipe(a).pipe(b).run()``."""
+        self._require_open()
+        return Pipeline(self, [resolve_sink(self, s) for s in sinks])
+
+
+class Pipeline:
+    """A fluent, single-pass sink pipeline over one dataset.
+
+    Built by :meth:`SAGeDataset.pipe`; every ``pipe`` call appends a
+    sink (name, :class:`Sink`, or callable) and :meth:`run` drives one
+    streaming decode through all of them, returning their results in
+    order.  Executor accounting of the pass lands in :attr:`stats`.
+    """
+
+    def __init__(self, dataset: SAGeDataset, sinks: list[Sink]):
+        self._dataset = dataset
+        self._sinks = list(sinks)
+        self.stats: ExecutorStats | None = None
+
+    def pipe(self, *sinks) -> "Pipeline":
+        self._sinks.extend(resolve_sink(self._dataset, s) for s in sinks)
+        return self
+
+    def run(self, *, options: EngineOptions | None = None) -> list:
+        if not self._sinks:
+            raise ValueError("pipeline has no sinks; call .pipe(...) "
+                             "before .run()")
+        executor = self._dataset._make_executor(options)
+        results = executor.run(*self._sinks)
+        self.stats = executor.stats
+        return results

@@ -1,0 +1,182 @@
+"""Engine configuration: one validated options object for every path.
+
+:class:`EngineOptions` replaces the ``workers=`` / ``backend=`` /
+``prefetch=`` / ``block_reads=`` keyword sprawl that used to be
+duplicated across :mod:`repro.core.blocks`,
+:mod:`repro.core.decompressor`, :mod:`repro.pipeline.executor` and the
+CLI.  Every engine constructs (or receives) an ``EngineOptions`` and all
+validation happens here, in ``__post_init__`` — bad values fail at the
+API boundary with a clear :class:`ValueError` instead of deep inside a
+worker pool.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from dataclasses import dataclass
+
+from .._compat import warn_once
+from ..core.blocks import BACKENDS, DEFAULT_BLOCK_READS, INFLIGHT_PER_WORKER
+from ..core.compressor import SAGeConfig
+from ..core.mismatch import OptLevel
+
+__all__ = ["EngineOptions", "resolve_stream_options"]
+
+
+@dataclass(frozen=True)
+class EngineOptions:
+    """Session-wide engine knobs, validated on construction.
+
+    Parameters
+    ----------
+    workers:
+        Worker processes for block compression / parallel block decode.
+        ``1`` is the serial reference path; every value produces
+        byte-identical output.
+    backend:
+        Decode backend, one of :data:`repro.core.blocks.BACKENDS`
+        (``auto`` picks ``serial`` for one worker, ``process``
+        otherwise).
+    prefetch:
+        In-flight blocks per worker (``None`` = the engine-wide
+        ``INFLIGHT_PER_WORKER`` default).
+    block_reads:
+        Reads per independently decodable block when compressing.
+        ``0`` writes a flat single-section archive unless ``workers``
+        forces blocking (then :data:`DEFAULT_BLOCK_READS` applies).
+    level:
+        Optimization level (an :class:`OptLevel` or its name, e.g.
+        ``"O4"``).
+    long_reads:
+        Force the long-read encoding paths (``None`` = auto-detect).
+    with_quality:
+        Keep quality scores when compressing.
+    """
+
+    workers: int = 1
+    backend: str = "auto"
+    prefetch: int | None = None
+    block_reads: int = 0
+    level: OptLevel | str = OptLevel.O4
+    long_reads: bool | None = None
+    with_quality: bool = True
+
+    def __post_init__(self) -> None:
+        if isinstance(self.level, str):
+            try:
+                object.__setattr__(self, "level", OptLevel[self.level])
+            except KeyError:
+                names = [lvl.name for lvl in OptLevel]
+                raise ValueError(
+                    f"unknown optimization level {self.level!r}; "
+                    f"expected one of {names}") from None
+        elif not isinstance(self.level, OptLevel):
+            raise ValueError(
+                f"level must be an OptLevel or its name, "
+                f"got {self.level!r}")
+        if self.workers < 1:
+            raise ValueError(f"workers must be >= 1, got {self.workers!r}")
+        if self.backend not in BACKENDS:
+            raise ValueError(f"unknown backend {self.backend!r}; "
+                             f"expected one of {BACKENDS}")
+        if self.prefetch is not None and self.prefetch < 1:
+            raise ValueError(
+                f"prefetch must be >= 1 (or None for the default), "
+                f"got {self.prefetch!r}")
+        if self.block_reads < 0:
+            raise ValueError(
+                f"block_reads must be >= 0 (0 = flat single-section "
+                f"archive), got {self.block_reads!r}")
+
+    # ------------------------------------------------------------------
+    # Derived views
+    # ------------------------------------------------------------------
+
+    @property
+    def blocked(self) -> bool:
+        """Whether compression should produce a multi-block archive."""
+        return self.block_reads > 0 or self.workers > 1
+
+    @property
+    def effective_block_reads(self) -> int:
+        """Reads per block once blocking is decided (never 0)."""
+        return self.block_reads or DEFAULT_BLOCK_READS
+
+    @property
+    def effective_prefetch(self) -> int:
+        """In-flight blocks per worker with the default filled in."""
+        return self.prefetch if self.prefetch is not None \
+            else INFLIGHT_PER_WORKER
+
+    @property
+    def window(self) -> int:
+        """Maximum blocks in flight (submitted but not yet consumed)."""
+        return max(1, self.workers * self.effective_prefetch)
+
+    def replace(self, **changes) -> "EngineOptions":
+        """A copy with ``changes`` applied (re-validated)."""
+        return dataclasses.replace(self, **changes)
+
+    def compressor_config(self, **overrides) -> SAGeConfig:
+        """A :class:`SAGeConfig` reflecting these options.
+
+        Only the fields EngineOptions carries are set; everything else
+        keeps the :class:`SAGeConfig` defaults (override via kwargs).
+        """
+        kwargs = dict(level=self.level, with_quality=self.with_quality,
+                      long_reads=self.long_reads)
+        kwargs.update(overrides)
+        return SAGeConfig(**kwargs)
+
+    @classmethod
+    def from_archive(cls, archive) -> "EngineOptions":
+        """The options an existing archive reflects (``inspect`` echo).
+
+        Session-only knobs (workers/backend/prefetch) keep their
+        defaults; the archive-recorded ones (level, block partition,
+        long-read mode, quality presence) are read back.
+        """
+        return cls(block_reads=archive.block_reads, level=archive.level,
+                   long_reads=archive.long_reads,
+                   with_quality=archive.block(0).quality is not None)
+
+    def to_dict(self) -> dict:
+        """JSON-friendly rendering (``sage inspect --json`` echo)."""
+        return {
+            "workers": self.workers,
+            "backend": self.backend,
+            "prefetch": self.prefetch,
+            "block_reads": self.block_reads,
+            "level": self.level.name,
+            "long_reads": self.long_reads,
+            "with_quality": self.with_quality,
+        }
+
+
+def resolve_stream_options(options: EngineOptions | None = None, *,
+                           workers: int | None = None,
+                           backend: str | None = None,
+                           prefetch: int | None = None,
+                           caller: str) -> EngineOptions:
+    """Fold legacy streaming kwargs into an :class:`EngineOptions`.
+
+    The shared deprecation shim of the decode-side entry points
+    (``SAGeDecompressor.decompress`` / ``iter_block_read_sets``,
+    ``StreamExecutor``, ``stream_read_sets``): explicit legacy kwargs
+    still work but warn once per caller, and validation always runs
+    through :class:`EngineOptions`.
+    """
+    if workers is None and backend is None and prefetch is None:
+        return options if options is not None else EngineOptions()
+    if options is not None:
+        raise ValueError(
+            f"{caller}: pass either options= or the legacy "
+            f"workers/backend/prefetch kwargs, not both")
+    warn_once(
+        f"{caller}:stream-kwargs",
+        f"{caller}(workers=..., backend=..., prefetch=...) is "
+        f"deprecated; pass repro.api.EngineOptions(...) via options= "
+        f"instead", stacklevel=4)
+    return EngineOptions(workers=1 if workers is None else workers,
+                         backend="auto" if backend is None else backend,
+                         prefetch=prefetch)

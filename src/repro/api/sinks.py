@@ -1,0 +1,110 @@
+"""Named sink registry and adapters for the :class:`SAGeDataset` facade.
+
+Sinks are the pipelined consumers of the streaming decode
+(:class:`repro.pipeline.executor.Sink`).  The registry maps short names
+to factories so callers — most prominently ``sage analyze --sink NAME``
+— can resolve an analysis by name instead of wiring mapper/reference
+plumbing themselves.  A factory receives the dataset being analyzed and
+returns a fresh sink bound to it (e.g. to the archive's own consensus).
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Callable
+
+from ..pipeline.executor import (CollectSink, MappingRateSink,
+                                 PropertySink, Sink)
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from .dataset import SAGeDataset
+
+__all__ = ["CallableSink", "SinkFactory", "available_sinks", "make_sink",
+           "register_sink", "resolve_sink", "unregister_sink"]
+
+SinkFactory = Callable[["SAGeDataset"], Sink]
+
+_REGISTRY: dict[str, SinkFactory] = {}
+
+
+def register_sink(name: str, factory: SinkFactory, *,
+                  replace: bool = False) -> None:
+    """Register ``factory`` under ``name``.
+
+    ``factory(dataset)`` must return a fresh object satisfying the
+    :class:`Sink` protocol.  Re-registering an existing name raises
+    unless ``replace=True``.
+    """
+    if not name or not isinstance(name, str):
+        raise ValueError(f"sink name must be a non-empty string, "
+                         f"got {name!r}")
+    if not callable(factory):
+        raise ValueError(f"sink factory for {name!r} must be callable")
+    if not replace and name in _REGISTRY:
+        raise ValueError(f"sink {name!r} is already registered "
+                         f"(pass replace=True to override)")
+    _REGISTRY[name] = factory
+
+
+def unregister_sink(name: str) -> None:
+    """Remove ``name`` from the registry (missing names are ignored)."""
+    _REGISTRY.pop(name, None)
+
+
+def available_sinks() -> tuple[str, ...]:
+    """Registered sink names, sorted."""
+    return tuple(sorted(_REGISTRY))
+
+
+def make_sink(name: str, dataset: "SAGeDataset") -> Sink:
+    """Instantiate the sink registered under ``name`` for ``dataset``."""
+    try:
+        factory = _REGISTRY[name]
+    except KeyError:
+        raise ValueError(
+            f"unknown sink {name!r}; available: "
+            f"{', '.join(available_sinks()) or '(none)'}") from None
+    return factory(dataset)
+
+
+class CallableSink:
+    """Adapts a plain per-block callable into the :class:`Sink` protocol.
+
+    ``fn(block)`` is invoked once per decoded :class:`ReadSet` block in
+    index order; ``finish()`` returns the list of per-block return
+    values.  This is what lets ``dataset.pipe(lambda block: ...)``
+    accept bare callables.
+    """
+
+    def __init__(self, fn: Callable):
+        self._fn = fn
+        self._results: list = []
+
+    def consume(self, index: int, block) -> None:
+        self._results.append(self._fn(block))
+
+    def finish(self) -> list:
+        return self._results
+
+
+def resolve_sink(dataset: "SAGeDataset", spec) -> Sink:
+    """Turn a sink spec (name, sink object, or callable) into a sink."""
+    if isinstance(spec, str):
+        return make_sink(spec, dataset)
+    if isinstance(spec, Sink):
+        return spec
+    if callable(spec):
+        return CallableSink(spec)
+    raise TypeError(f"cannot use {spec!r} as a sink: expected a "
+                    f"registered name, a Sink, or a callable")
+
+
+# ----------------------------------------------------------------------
+# Built-in sinks.  Analysis sinks map against the dataset's own
+# consensus, so they run straight off the compressed blob with no side
+# files — the paper's "directly analyzable" property.
+# ----------------------------------------------------------------------
+
+register_sink("property", lambda dataset: PropertySink(dataset.consensus))
+register_sink("mapping-rate",
+              lambda dataset: MappingRateSink(dataset.consensus))
+register_sink("collect", lambda dataset: CollectSink())

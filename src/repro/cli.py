@@ -7,25 +7,27 @@ Subcommands::
     sage decompress input.sage output.fastq [--workers N]
     sage cat        input.sage [--block I] [--output out.fastq]
                     [--workers N]
-    sage analyze    input.sage [--workers N] [--mapping-rate] [--json]
+    sage analyze    input.sage [--workers N] [--sink NAME ...]
+                    [--mapping-rate] [--json]
     sage inspect    input.sage [--json]
     sage simulate   RS2 output.fastq [--genome 50000] [--ref ref.txt]
 
 The consensus file is plain ACGT text (a reference genome); ``simulate``
 writes one alongside the FASTQ so the two commands compose.
 
+Every command is a thin shell over the :class:`repro.api.SAGeDataset`
+facade: flags build one :class:`repro.api.EngineOptions` (validated in
+one place), ``compress`` is ``SAGeDataset.from_fastq(...).save(...)``,
+the consume-side commands are ``SAGeDataset.open(...)`` sessions.
 ``--block-reads M`` partitions the input into independently decodable
-blocks of ``M`` reads (the v3 container's random-access unit) and streams
-the FASTQ instead of loading it whole; ``--workers N`` compresses blocks
-on ``N`` processes, producing a byte-identical archive.  On the consume
-side every command streams block by block through the overlapped
-execution engine (:mod:`repro.pipeline.executor`): ``--workers N``
-decodes blocks in parallel with bounded prefetch while the consumer
-(FASTQ writer, property analysis, mapping) processes earlier blocks —
-output is byte-identical for every ``N``.  ``sage cat`` decodes a single
+blocks of ``M`` reads (the v3 container's random-access unit) and
+streams the FASTQ instead of loading it whole; ``--workers N``
+compresses/decodes blocks on ``N`` processes with bounded prefetch,
+byte-identical for every ``N``.  ``sage cat --block I`` decodes a single
 block without touching the rest of the archive; ``sage analyze`` runs
-property analysis or a mapping-rate pass directly off an archive, using
-the archive's own consensus as the reference.
+named sinks from the facade's registry (``--sink property --sink
+mapping-rate``) directly off an archive, using the archive's own
+consensus as the reference.
 """
 
 from __future__ import annotations
@@ -35,155 +37,183 @@ import json
 import sys
 from pathlib import Path
 
-import numpy as np
-
-from .core import (DEFAULT_BLOCK_READS, BlockCompressor, OptLevel,
-                   SAGeArchive, SAGeCompressor, SAGeConfig,
-                   SAGeDecompressor)
+from .api import EngineOptions, SAGeDataset, available_sinks
+from .core import OptLevel, SAGeArchive
 from .core.container import STREAM_NAMES
 from .genomics import datasets, fastq
 from .genomics import sequence as seqmod
-from .pipeline.executor import (FastqSink, MappingRateSink, PropertySink,
-                                StreamExecutor)
+from .genomics.reads import ReadSet
 
 
-def _read_consensus(path: str) -> np.ndarray:
-    text = Path(path).read_text(encoding="ascii").strip().replace("\n", "")
-    return seqmod.encode(text)
+def _engine_options(**kwargs) -> EngineOptions:
+    """Build the session options, turning validation errors into exits."""
+    try:
+        return EngineOptions(**kwargs)
+    except ValueError as exc:
+        raise SystemExit(f"sage: {exc}") from None
 
 
 def _cmd_compress(args: argparse.Namespace) -> int:
-    consensus = _read_consensus(args.consensus)
-    config = SAGeConfig(level=OptLevel[args.level],
-                        with_quality=not args.no_quality)
-    if args.workers < 1:
-        raise SystemExit("--workers must be >= 1")
-    if args.block_reads < 0:
-        raise SystemExit("--block-reads must be >= 0")
-    blocked = args.block_reads > 0 or args.workers > 1
-    if blocked:
-        block_reads = args.block_reads or DEFAULT_BLOCK_READS
-        totals = {"reads": 0, "bases": 0, "fastq": 0}
-
-        def chunks():
-            for chunk in fastq.iter_read_sets(args.input, block_reads):
-                totals["reads"] += len(chunk)
-                totals["bases"] += chunk.total_bases
-                totals["fastq"] += chunk.uncompressed_fastq_bytes()
-                yield chunk
-
-        engine = BlockCompressor(consensus, config,
-                                 block_reads=block_reads,
-                                 workers=args.workers)
-        archive = engine.compress(chunks())
-        original, total_bases = totals["fastq"], totals["bases"]
-    else:
-        read_set = fastq.read_file(args.input)
-        archive = SAGeCompressor(consensus, config).compress(read_set)
-        original = read_set.uncompressed_fastq_bytes()
-        total_bases = read_set.total_bases
-    blob = archive.to_bytes()
-    Path(args.output).write_bytes(blob)
-    block_note = f", {archive.n_blocks} blocks" if blocked else ""
+    options = _engine_options(workers=args.workers,
+                              block_reads=args.block_reads,
+                              level=args.level,
+                              with_quality=not args.no_quality)
+    dataset = SAGeDataset.from_fastq(args.input,
+                                     reference=args.consensus,
+                                     options=options)
+    nbytes = dataset.save(args.output)
+    totals = dataset.source_totals
+    archive = dataset.archive
+    block_note = f", {archive.n_blocks} blocks" if options.blocked else ""
     dna = max(1, archive.dna_byte_size())
-    print(f"{args.input}: {original} B -> {len(blob)} B "
-          f"(ratio {original / len(blob):.2f}, "
-          f"DNA ratio {total_bases / dna:.2f}{block_note})")
+    print(f"{args.input}: {totals.fastq_bytes} B -> {nbytes} B "
+          f"(ratio {totals.fastq_bytes / nbytes:.2f}, "
+          f"DNA ratio {totals.bases / dna:.2f}{block_note})")
     return 0
 
 
 def _cmd_decompress(args: argparse.Namespace) -> int:
-    if args.workers < 1:
-        raise SystemExit("--workers must be >= 1")
-    blob = Path(args.input).read_bytes()
-    archive = SAGeArchive.from_bytes(blob)
+    options = _engine_options(workers=args.workers)
     # Stream block by block: FASTQ for block i is written while block
     # i+1 is still decoding, and the dataset is never materialized.
-    executor = StreamExecutor(archive, workers=args.workers)
-    with open(args.output, "w", encoding="ascii") as handle:
-        sink = FastqSink(handle)
-        executor.run(sink)
-    print(f"{args.input}: {sink.n_reads} reads -> {args.output}")
+    with SAGeDataset.open(args.input, options=options) as dataset:
+        n_reads = dataset.to_fastq(args.output)
+    print(f"{args.input}: {n_reads} reads -> {args.output}")
     return 0
 
 
 def _cmd_cat(args: argparse.Namespace) -> int:
-    if args.workers < 1:
-        raise SystemExit("--workers must be >= 1")
-    archive = SAGeArchive.from_bytes(Path(args.input).read_bytes())
-    decompressor = SAGeDecompressor(archive)
-    if args.block is not None:
-        if not 0 <= args.block < archive.n_blocks:
-            raise SystemExit(
-                f"block {args.block} out of range "
-                f"(archive has {archive.n_blocks} blocks)")
-        sets = [decompressor.decompress_block(args.block)]
-    else:
-        sets = decompressor.iter_block_read_sets(workers=args.workers)
-    out = sys.stdout if args.output in (None, "-") \
-        else open(args.output, "w", encoding="ascii")
-    try:
-        for read_set in sets:
-            for i, read in enumerate(read_set):
-                out.write(fastq.format_read(read, i))
-    finally:
-        if out is not sys.stdout:
-            out.close()
+    options = _engine_options(workers=args.workers)
+    with SAGeDataset.open(args.input, options=options) as dataset:
+        if args.block is not None:
+            if not 0 <= args.block < dataset.n_blocks:
+                raise SystemExit(
+                    f"block {args.block} out of range "
+                    f"(archive has {dataset.n_blocks} blocks)")
+            sets = [dataset.decode_block(args.block)]
+        else:
+            sets = dataset.blocks()
+        out = sys.stdout if args.output in (None, "-") \
+            else open(args.output, "w", encoding="ascii")
+        try:
+            for read_set in sets:
+                for i, read in enumerate(read_set):
+                    out.write(fastq.format_read(read, i))
+        finally:
+            if out is not sys.stdout:
+                out.close()
     return 0
 
 
+def _property_info(report) -> dict:
+    """JSON rendering of a ``property`` sink result."""
+    mismatch_hist = report.mismatch_count_hist()
+    return {
+        "n_reads": report.n_reads,
+        "n_mapped": report.n_reads - report.n_unmapped,
+        "n_unmapped": report.n_unmapped,
+        "n_chimeric": report.n_chimeric,
+        "mapping_rate": (report.n_reads - report.n_unmapped)
+        / max(1, report.n_reads),
+        "mismatch_pos_bitcount_hist":
+            report.mismatch_pos_bitcount_hist().tolist(),
+        "mismatch_count_hist": mismatch_hist.tolist(),
+        "matching_pos_bitcount_fractions":
+            [round(float(f), 6) for f in
+             report.matching_pos_bitcount_fractions()],
+    }
+
+
+def _mapping_info(rate) -> dict:
+    """JSON rendering of a ``mapping-rate`` sink result."""
+    return {"n_reads": rate.n_reads, "n_mapped": rate.n_mapped,
+            "n_unmapped": rate.n_unmapped,
+            "mapping_rate": rate.mapping_rate}
+
+
+def _result_info(result) -> dict:
+    """JSON rendering for any registered sink's result."""
+    if hasattr(result, "mismatch_count_hist"):      # PropertyReport
+        return _property_info(result)
+    if hasattr(result, "mapping_rate"):             # MappingRateReport
+        return _mapping_info(result)
+    if isinstance(result, ReadSet):                 # collect
+        return {"n_reads": len(result),
+                "total_bases": result.total_bases}
+    return {"result": str(result)}
+
+
+def _print_property_text(info: dict) -> None:
+    print(f"chimeric reads: {info['n_chimeric']}")
+    hist = info["mismatch_count_hist"]
+    total = max(1, sum(hist))
+    zero = hist[0] / total if hist else 0.0
+    print(f"mismatch-free mapped reads: {zero:.1%}")
+    fractions = info["matching_pos_bitcount_fractions"]
+    top = max(range(len(fractions)), key=fractions.__getitem__)
+    print(f"matching-pos deltas: modal bit width {top} "
+          f"({fractions[top]:.1%} of reads)")
+
+
 def _cmd_analyze(args: argparse.Namespace) -> int:
-    if args.workers < 1:
-        raise SystemExit("--workers must be >= 1")
-    archive = SAGeArchive.from_bytes(Path(args.input).read_bytes())
-    decompressor = SAGeDecompressor(archive)
-    # The archive's own consensus is the mapping reference, so analysis
-    # needs no side files — it runs straight off the compressed blob.
-    executor = StreamExecutor(archive, workers=args.workers,
-                              decompressor=decompressor)
+    options = _engine_options(workers=args.workers)
+    sink_names = list(args.sink or [])
     if args.mapping_rate:
-        [rate] = executor.run(MappingRateSink(decompressor.consensus))
-        info = {"n_reads": rate.n_reads, "n_mapped": rate.n_mapped,
-                "n_unmapped": rate.n_unmapped,
-                "mapping_rate": rate.mapping_rate}
-    else:
-        [report] = executor.run(PropertySink(decompressor.consensus))
-        mismatch_hist = report.mismatch_count_hist()
-        info = {
-            "n_reads": report.n_reads,
-            "n_mapped": report.n_reads - report.n_unmapped,
-            "n_unmapped": report.n_unmapped,
-            "n_chimeric": report.n_chimeric,
-            "mapping_rate": (report.n_reads - report.n_unmapped)
-            / max(1, report.n_reads),
-            "mismatch_pos_bitcount_hist":
-                report.mismatch_pos_bitcount_hist().tolist(),
-            "mismatch_count_hist": mismatch_hist.tolist(),
-            "matching_pos_bitcount_fractions":
-                [round(float(f), 6) for f in
-                 report.matching_pos_bitcount_fractions()],
-        }
-    stats = executor.stats
-    info["stream"] = {"blocks": stats.blocks,
-                      "peak_inflight_blocks": stats.peak_inflight,
-                      "workers": args.workers}
-    if args.json:
-        print(json.dumps(info, indent=2, sort_keys=True))
+        if sink_names:
+            raise SystemExit("--mapping-rate and --sink are mutually "
+                             "exclusive (use --sink mapping-rate)")
+        sink_names = ["mapping-rate"]
+    if len(set(sink_names)) != len(sink_names):
+        raise SystemExit("sage: duplicate --sink names")
+    # Without --sink the historical single-report layout is kept.
+    legacy_layout = not args.sink
+    if not sink_names:
+        sink_names = ["property"]
+    with SAGeDataset.open(args.input, options=options) as dataset:
+        try:
+            # Only sink *resolution* is a usage error; failures inside
+            # a sink's consume/finish keep their traceback.
+            pipeline = dataset.pipe(*sink_names)
+        except (TypeError, ValueError) as exc:
+            raise SystemExit(f"sage: {exc}") from None
+        results = pipeline.run()
+        stats = dataset.stats
+    infos = {name: _result_info(result)
+             for name, result in zip(sink_names, results)}
+    stream_info = {"blocks": stats.blocks,
+                   "peak_inflight_blocks": stats.peak_inflight,
+                   "workers": args.workers}
+
+    if legacy_layout:
+        info = infos[sink_names[0]]
+        info["stream"] = stream_info
+        if args.json:
+            print(json.dumps(info, indent=2, sort_keys=True))
+            return 0
+        print(f"{args.input}: {info['n_reads']} reads in "
+              f"{stats.blocks} block(s), "
+              f"mapping rate {info['mapping_rate']:.1%} "
+              f"({info['n_unmapped']} unmapped)")
+        if not args.mapping_rate:
+            _print_property_text(info)
+        print(f"peak in-flight blocks: {stats.peak_inflight} "
+              f"(workers={args.workers})")
         return 0
-    print(f"{args.input}: {info['n_reads']} reads in "
-          f"{stats.blocks} block(s), "
-          f"mapping rate {info['mapping_rate']:.1%} "
-          f"({info['n_unmapped']} unmapped)")
-    if not args.mapping_rate:
-        print(f"chimeric reads: {info['n_chimeric']}")
-        hist = info["mismatch_count_hist"]
-        total = max(1, sum(hist))
-        zero = hist[0] / total if hist else 0.0
-        print(f"mismatch-free mapped reads: {zero:.1%}")
-        fractions = info["matching_pos_bitcount_fractions"]
-        top = max(range(len(fractions)), key=fractions.__getitem__)
-        print(f"matching-pos deltas: modal bit width {top} "
-              f"({fractions[top]:.1%} of reads)")
+
+    if args.json:
+        print(json.dumps({"input": args.input, "sinks": infos,
+                          "stream": stream_info},
+                         indent=2, sort_keys=True))
+        return 0
+    for name, info in infos.items():
+        if "mapping_rate" in info:
+            print(f"[{name}] {info['n_reads']} reads, mapping rate "
+                  f"{info['mapping_rate']:.1%} "
+                  f"({info['n_unmapped']} unmapped)")
+        else:
+            print(f"[{name}] {info}")
+        if "n_chimeric" in info:
+            _print_property_text(info)
     print(f"peak in-flight blocks: {stats.peak_inflight} "
           f"(workers={args.workers})")
     return 0
@@ -220,6 +250,8 @@ def _archive_info(archive: SAGeArchive) -> dict:
     first = archive.block(0)
     info = {
         "version": archive.source_version,
+        "format_version": archive.source_version,
+        "options": EngineOptions.from_archive(archive).to_dict(),
         "level": archive.level.name,
         "n_reads": archive.n_reads,
         "n_mapped": archive.n_mapped,
@@ -247,27 +279,31 @@ def _archive_info(archive: SAGeArchive) -> dict:
 
 
 def _cmd_inspect(args: argparse.Namespace) -> int:
-    archive = SAGeArchive.from_bytes(Path(args.input).read_bytes())
-    if args.json:
-        print(json.dumps(_archive_info(archive), indent=2, sort_keys=True))
-        return 0
-    print(f"level: {archive.level.name}")
-    print(f"container: v{archive.source_version}, "
-          f"{archive.n_blocks} block(s)")
-    print(f"reads: {archive.n_mapped} mapped, "
-          f"{archive.n_unmapped} unmapped")
-    print(f"consensus: {archive.consensus_length} bases")
-    print(f"fixed read length: {archive.fixed_read_length or 'variable'}")
-    print(f"quality: {'yes' if archive.block(0).quality else 'no'}")
-    if archive.is_blocked:
-        for i, entry in enumerate(archive.block_index()):
-            print(f"  block {i:<4} {entry.n_reads:>8} reads "
-                  f"{entry.nbytes:>10} B @ {entry.offset}")
-    for name in sorted(archive.streams if not archive.is_blocked
-                       else ["consensus"]):
-        print(f"  stream {name:<10} {archive.stream_bits(name):>12} bits")
-    for key, table in archive.block(0).tables.items():
-        print(f"  table  {key:<10} widths {table.widths}")
+    with SAGeDataset.open(args.input) as dataset:
+        archive = dataset.archive
+        if args.json:
+            print(json.dumps(_archive_info(archive), indent=2,
+                             sort_keys=True))
+            return 0
+        print(f"level: {archive.level.name}")
+        print(f"container: v{dataset.format_version}, "
+              f"{archive.n_blocks} block(s)")
+        print(f"reads: {archive.n_mapped} mapped, "
+              f"{archive.n_unmapped} unmapped")
+        print(f"consensus: {archive.consensus_length} bases")
+        print(f"fixed read length: "
+              f"{archive.fixed_read_length or 'variable'}")
+        print(f"quality: {'yes' if archive.block(0).quality else 'no'}")
+        if archive.is_blocked:
+            for i, entry in enumerate(archive.block_index()):
+                print(f"  block {i:<4} {entry.n_reads:>8} reads "
+                      f"{entry.nbytes:>10} B @ {entry.offset}")
+        for name in sorted(archive.streams if not archive.is_blocked
+                           else ["consensus"]):
+            print(f"  stream {name:<10} "
+                  f"{archive.stream_bits(name):>12} bits")
+        for key, table in archive.block(0).tables.items():
+            print(f"  table  {key:<10} widths {table.widths}")
     return 0
 
 
@@ -322,15 +358,20 @@ def build_parser() -> argparse.ArgumentParser:
     p.set_defaults(func=_cmd_cat)
 
     p = sub.add_parser("analyze",
-                       help="stream property/mapping analysis off an "
-                            "archive (no FASTQ round trip)")
+                       help="stream sink analysis off an archive "
+                            "(no FASTQ round trip)")
     p.add_argument("input")
     p.add_argument("--workers", type=int, default=1,
                    help="worker processes decoding blocks while "
                         "analysis consumes them")
+    p.add_argument("--sink", action="append", default=None,
+                   metavar="NAME",
+                   help="named sink from the facade registry "
+                        f"(repeatable; registered: "
+                        f"{', '.join(available_sinks())})")
     p.add_argument("--mapping-rate", action="store_true",
-                   help="only measure the mapping rate (skip property "
-                        "distributions)")
+                   help="only measure the mapping rate (shorthand for "
+                        "--sink mapping-rate with the classic layout)")
     p.add_argument("--json", action="store_true",
                    help="emit machine-readable JSON")
     p.set_defaults(func=_cmd_analyze)
@@ -338,7 +379,8 @@ def build_parser() -> argparse.ArgumentParser:
     p = sub.add_parser("inspect", help="describe an archive")
     p.add_argument("input")
     p.add_argument("--json", action="store_true",
-                   help="emit machine-readable JSON metadata")
+                   help="emit machine-readable JSON metadata "
+                        "(includes format_version and an options echo)")
     p.set_defaults(func=_cmd_inspect)
 
     p = sub.add_parser("simulate", help="generate a synthetic read set")

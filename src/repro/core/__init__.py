@@ -1,7 +1,7 @@
 """SAGe core: the paper's compression/decompression contribution (§5)."""
 
 from . import bitio, blocks, formats, prefix_codes, quality, tuning
-from .blocks import (DEFAULT_BLOCK_READS, INFLIGHT_PER_WORKER,
+from .blocks import (BACKENDS, DEFAULT_BLOCK_READS, INFLIGHT_PER_WORKER,
                      BlockCompressor, compress_blocked, imap_bounded,
                      partition_reads)
 from .compressor import CompressionError, SAGeCompressor, SAGeConfig, compress
@@ -15,7 +15,8 @@ from .tuning import TuningResult, bit_count_histogram, tune, tune_values
 
 __all__ = [
     "bitio", "blocks", "formats", "prefix_codes", "quality", "tuning",
-    "DEFAULT_BLOCK_READS", "INFLIGHT_PER_WORKER", "BlockCompressor",
+    "BACKENDS", "DEFAULT_BLOCK_READS", "INFLIGHT_PER_WORKER",
+    "BlockCompressor",
     "compress_blocked", "imap_bounded",
     "partition_reads", "CompressionError", "SAGeCompressor", "SAGeConfig",
     "compress", "BlockIndexEntry", "ContainerError", "SAGeArchive",

@@ -31,15 +31,16 @@ from typing import Callable, Iterable, Iterator
 
 import numpy as np
 
+from .._compat import warn_once
 from ..genomics.reads import ReadSet, partition_reads
 from .compressor import SAGeCompressor, SAGeConfig
 from .container import SAGeArchive, SAGeBlock
 from .formats import pack_bits
 from .mismatch import SizeBreakdown
 
-__all__ = ["DEFAULT_BLOCK_READS", "INFLIGHT_PER_WORKER", "BlockCompressor",
-           "block_from_archive", "compress_blocked", "imap_bounded",
-           "partition_reads"]
+__all__ = ["BACKENDS", "DEFAULT_BLOCK_READS", "INFLIGHT_PER_WORKER",
+           "BlockCompressor", "block_from_archive", "compress_blocked",
+           "imap_bounded", "partition_reads"]
 
 #: Default reads-per-block partition size.  Matches the order of the
 #: paper's per-channel section granularity: large enough that Algorithm-1
@@ -51,6 +52,13 @@ DEFAULT_BLOCK_READS = 4096
 #: backpressure policy of both the compression engine here and the
 #: streaming decode executor (:mod:`repro.pipeline.executor`).
 INFLIGHT_PER_WORKER = 2
+
+#: Recognized decode backends.  ``auto`` picks ``serial`` for one worker
+#: and ``process`` (with graceful fallback) otherwise.  Defined here —
+#: next to the shared backpressure policy — so both the facade's
+#: :class:`repro.api.EngineOptions` and the streaming executor validate
+#: against one list without importing each other.
+BACKENDS = ("auto", "serial", "thread", "process")
 
 #: Per-process compressor memo, keyed by *identity* of the consensus and
 #: config objects (cheap, and both are stable across a run: the parent
@@ -99,6 +107,37 @@ def block_from_archive(archive: SAGeArchive) -> SAGeBlock:
     return archive._as_block()
 
 
+def _resolve_compress_options(options, *, block_reads: int | None,
+                              workers: int | None, caller: str):
+    """Fold legacy ``block_reads=``/``workers=`` kwargs into options.
+
+    The compression-side counterpart of
+    :func:`repro.api.options.resolve_stream_options`: loose kwargs keep
+    working (warning once per caller) and validation runs through
+    :class:`repro.api.EngineOptions` — except the historical
+    ``block_reads >= 1`` contract of this engine, enforced here.
+    """
+    from ..api.options import EngineOptions
+    if block_reads is None and workers is None:
+        return options if options is not None \
+            else EngineOptions(block_reads=DEFAULT_BLOCK_READS)
+    if options is not None:
+        raise ValueError(
+            f"{caller}: pass either options= or the legacy "
+            f"block_reads/workers kwargs, not both")
+    warn_once(
+        f"{caller}:compress-kwargs",
+        f"{caller}(block_reads=..., workers=...) is deprecated; pass "
+        f"repro.api.EngineOptions(...) via options= instead",
+        stacklevel=4)
+    if block_reads is None:
+        block_reads = DEFAULT_BLOCK_READS
+    if block_reads < 1:
+        raise ValueError("block_reads must be >= 1")
+    return EngineOptions(block_reads=block_reads,
+                         workers=1 if workers is None else workers)
+
+
 def imap_bounded(executor: Executor, fn: Callable, items: Iterable,
                  window: int,
                  depth_probe: Callable[[int], None] | None = None
@@ -132,27 +171,30 @@ class BlockCompressor:
         The consensus sequence (A/C/G/T codes) all blocks map against.
     config:
         Shared :class:`SAGeConfig`; never mutated.
-    block_reads:
-        Reads per block when partitioning a flat read stream.
-    workers:
-        Worker processes for block compression.  ``1`` keeps everything
-        in-process (the deterministic reference path); higher values use
-        a :class:`concurrent.futures.ProcessPoolExecutor` and produce a
+    options:
+        :class:`repro.api.EngineOptions` supplying the block partition
+        size (``effective_block_reads``) and compression ``workers``.
+        ``1`` worker keeps everything in-process (the deterministic
+        reference path); higher values use a
+        :class:`concurrent.futures.ProcessPoolExecutor` and produce a
         byte-identical archive.
+    block_reads / workers:
+        Deprecated loose kwargs, forwarded into an ``EngineOptions``
+        (with a once-per-process :class:`DeprecationWarning`).
     """
 
     def __init__(self, consensus: np.ndarray,
                  config: SAGeConfig | None = None, *,
-                 block_reads: int = DEFAULT_BLOCK_READS,
-                 workers: int = 1):
-        if block_reads < 1:
-            raise ValueError("block_reads must be >= 1")
-        if workers < 1:
-            raise ValueError("workers must be >= 1")
+                 options=None, block_reads: int | None = None,
+                 workers: int | None = None):
+        options = _resolve_compress_options(
+            options, block_reads=block_reads, workers=workers,
+            caller="BlockCompressor")
         self.consensus = np.asarray(consensus, dtype=np.uint8)
         self.config = config or SAGeConfig()
-        self.block_reads = block_reads
-        self.workers = workers
+        self.options = options
+        self.block_reads = options.effective_block_reads
+        self.workers = options.workers
 
     # ------------------------------------------------------------------
     # Public API
@@ -270,8 +312,16 @@ def _merge_breakdowns(blocks: list[SAGeBlock]) -> SizeBreakdown:
 def compress_blocked(reads: ReadSet | Iterable[ReadSet],
                      consensus: np.ndarray,
                      config: SAGeConfig | None = None, *,
-                     block_reads: int = DEFAULT_BLOCK_READS,
-                     workers: int = 1) -> SAGeArchive:
-    """One-shot convenience wrapper around :class:`BlockCompressor`."""
-    return BlockCompressor(consensus, config, block_reads=block_reads,
-                           workers=workers).compress(reads)
+                     options=None, block_reads: int | None = None,
+                     workers: int | None = None) -> SAGeArchive:
+    """One-shot convenience wrapper around :class:`BlockCompressor`.
+
+    Always produces a blocked archive; loose ``block_reads``/``workers``
+    kwargs are deprecated in favour of ``options``
+    (:class:`repro.api.EngineOptions`).
+    """
+    options = _resolve_compress_options(
+        options, block_reads=block_reads, workers=workers,
+        caller="compress_blocked")
+    return BlockCompressor(consensus, config, options=options) \
+        .compress(reads)

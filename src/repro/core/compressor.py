@@ -19,6 +19,7 @@ from dataclasses import dataclass, replace
 
 import numpy as np
 
+from .._compat import warn_once
 from ..genomics import sequence as seq
 from ..genomics.reads import Read, ReadSet
 from ..mapping.alignment import DEL, INS, SUB
@@ -568,5 +569,15 @@ def _find_runs(codes: np.ndarray, target: int) -> list[tuple[int, int]]:
 
 def compress(read_set: ReadSet, consensus: np.ndarray,
              config: SAGeConfig | None = None) -> SAGeArchive:
-    """One-shot convenience wrapper around :class:`SAGeCompressor`."""
-    return SAGeCompressor(consensus, config).compress(read_set)
+    """Deprecated one-shot wrapper; use the :class:`SAGeDataset` facade.
+
+    Forwards to ``repro.api.SAGeDataset.from_fastq(...)`` — the archive
+    is byte-identical to the historical flat-compression path.
+    """
+    warn_once("repro.core.compress",
+              "repro.core.compress() is deprecated; use "
+              "repro.api.SAGeDataset.from_fastq(reads, reference=...)"
+              ".archive instead")
+    from ..api.dataset import SAGeDataset
+    return SAGeDataset.from_fastq(read_set, reference=consensus,
+                                  config=config).archive

@@ -23,6 +23,7 @@ from typing import Iterator
 
 import numpy as np
 
+from .._compat import warn_once
 from ..genomics import sequence as seq
 from ..genomics.reads import Read, ReadSet
 from . import headers as headers_codec
@@ -71,18 +72,25 @@ class SAGeDecompressor:
     # Public API
     # ------------------------------------------------------------------
 
-    def decompress(self, *, workers: int = 1) -> ReadSet:
+    def decompress(self, *, workers: int | None = None,
+                   options=None) -> ReadSet:
         """Decode every read (and quality scores, if present).
 
         Blocked (v3 multi-section) archives are decoded block by block
         in index order; each block restores its own within-block order,
         so the concatenation reproduces the original read order whenever
-        ``preserve_order`` was set at compression time.  ``workers > 1``
-        decodes blocks in parallel through the streaming executor
-        (:mod:`repro.pipeline.executor`); the result is identical.
+        ``preserve_order`` was set at compression time.  ``options``
+        (:class:`repro.api.EngineOptions`) with ``workers > 1`` decodes
+        blocks in parallel through the streaming executor
+        (:mod:`repro.pipeline.executor`); the result is identical.  The
+        loose ``workers=`` kwarg is deprecated.
         """
+        from ..api.options import resolve_stream_options
+        options = resolve_stream_options(
+            options, workers=workers,
+            caller="SAGeDecompressor.decompress")
         if self.archive.is_blocked:
-            return self._decompress_blocked(workers=workers)
+            return self._decompress_blocked(options)
         codes = list(self.iter_read_codes())
         qualities: list[np.ndarray | None] = [None] * len(codes)
         if self.archive.quality is not None:
@@ -135,32 +143,37 @@ class SAGeDecompressor:
             decoded = renumber_fallback_headers(decoded, base, arch.name)
         return decoded
 
-    def iter_block_read_sets(self, workers: int = 1, *,
-                             backend: str = "auto",
-                             prefetch: int | None = None
-                             ) -> Iterator[ReadSet]:
+    def iter_block_read_sets(self, workers: int | None = None, *,
+                             backend: str | None = None,
+                             prefetch: int | None = None,
+                             options=None) -> Iterator[ReadSet]:
         """Yield each block's reads in index order (streaming decode).
 
-        ``workers > 1`` (or an explicit ``backend``) hands the walk to
-        the overlapped streaming executor: blocks decode in parallel
-        with bounded prefetch, and the caller consumes block *i* while
-        block *i+1* is still decoding.  Output order and content are
-        identical to the serial walk for every configuration.
+        ``options`` (:class:`repro.api.EngineOptions`) with
+        ``workers > 1`` or an explicit ``backend`` hands the walk to the
+        facade's streaming path: blocks decode in parallel with bounded
+        prefetch, and the caller consumes block *i* while block *i+1*
+        is still decoding.  Output order and content are identical to
+        the serial walk for every configuration.  The loose
+        ``workers=``/``backend=``/``prefetch=`` kwargs are deprecated.
         """
-        if workers < 1:
-            raise ValueError("workers must be >= 1")
-        if workers == 1 and backend in ("auto", "serial"):
-            for index in range(self.archive.n_blocks):
-                yield self.decompress_block(index)
-            return
-        from ..pipeline.executor import StreamExecutor
-        yield from StreamExecutor(self.archive, workers=workers,
-                                  backend=backend, prefetch=prefetch,
-                                  decompressor=self)
+        from ..api.options import resolve_stream_options
+        options = resolve_stream_options(
+            options, workers=workers, backend=backend, prefetch=prefetch,
+            caller="SAGeDecompressor.iter_block_read_sets")
+        if options.workers == 1 and options.backend in ("auto", "serial"):
+            return self._iter_blocks_serial()
+        from ..api.dataset import SAGeDataset
+        return SAGeDataset(self.archive, options=options,
+                           decompressor=self).blocks()
 
-    def _decompress_blocked(self, workers: int = 1) -> ReadSet:
+    def _iter_blocks_serial(self) -> Iterator[ReadSet]:
+        for index in range(self.archive.n_blocks):
+            yield self.decompress_block(index)
+
+    def _decompress_blocked(self, options) -> ReadSet:
         reads: list[Read] = []
-        for block_set in self.iter_block_read_sets(workers=workers):
+        for block_set in self.iter_block_read_sets(options=options):
             reads.extend(block_set)
         return ReadSet(reads, name=self.archive.name or "sage")
 
@@ -417,5 +430,13 @@ class SAGeDecompressor:
 
 
 def decompress(archive: SAGeArchive) -> ReadSet:
-    """One-shot convenience wrapper around :class:`SAGeDecompressor`."""
-    return SAGeDecompressor(archive).decompress()
+    """Deprecated one-shot wrapper; use the :class:`SAGeDataset` facade.
+
+    Forwards to ``repro.api.SAGeDataset(archive).read_set()`` — output
+    is identical to the historical behaviour.
+    """
+    warn_once("repro.core.decompress",
+              "repro.core.decompress() is deprecated; use "
+              "repro.api.SAGeDataset(archive).read_set() instead")
+    from ..api.dataset import SAGeDataset
+    return SAGeDataset(archive).read_set()

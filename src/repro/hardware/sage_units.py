@@ -179,19 +179,40 @@ class SAGeHardwareModel:
     # Validation against the software decoders
     # ------------------------------------------------------------------
 
-    def verify(self, archive: SAGeArchive, *, workers: int = 1) -> bool:
+    def verify(self, archive, *, workers: int | None = None,
+               options=None) -> bool:
         """Check functional equivalence with the software decode path.
 
-        Runs the cycle-accounted hardware decode and the (optionally
-        parallel, ``workers > 1``) streaming software decode and compares
-        base codes and quality scores read by read.  Headers are not
-        compared: the hardware path re-enumerates fallback names.
-        Returns ``True`` on success and raises :class:`ValueError` on
-        the first mismatch — equivalence is the §5.2 contract that the
-        SU/RCU walk *is* the reference decoder.
+        ``archive`` may be a :class:`SAGeArchive` or the
+        :class:`repro.api.SAGeDataset` facade — the software side always
+        decodes through the facade (the served path), so the functional
+        model and the service API cannot drift.  Runs the
+        cycle-accounted hardware decode and the (optionally parallel,
+        ``workers > 1`` via ``options`` or the ``workers`` shortcut)
+        streaming software decode and compares base codes and quality
+        scores read by read.  Headers are not compared: the hardware
+        path re-enumerates fallback names.  Returns ``True`` on success
+        and raises :class:`ValueError` on the first mismatch —
+        equivalence is the §5.2 contract that the SU/RCU walk *is* the
+        reference decoder.
         """
-        hw_reads, _ = self.run(archive)
-        sw_reads = SAGeDecompressor(archive).decompress(workers=workers)
+        from ..api.dataset import SAGeDataset
+        from ..api.options import EngineOptions
+        if workers is not None and options is not None:
+            raise ValueError("verify: pass either options= or the "
+                             "workers= shortcut, not both")
+        if options is None and workers is not None:
+            options = EngineOptions(workers=workers)
+        if isinstance(archive, SAGeDataset):
+            # Keep the caller's session (its options and cached
+            # decoder) unless an explicit override was given.
+            dataset = archive if options is None \
+                else SAGeDataset(archive.archive, options=options)
+        else:
+            dataset = SAGeDataset(archive,
+                                  options=options or EngineOptions())
+        hw_reads, _ = self.run(dataset.archive)
+        sw_reads = dataset.read_set()
         if len(hw_reads) != len(sw_reads):
             raise ValueError(
                 f"hardware model decoded {len(hw_reads)} reads, software "

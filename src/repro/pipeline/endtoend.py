@@ -136,15 +136,28 @@ def build_stages(prep_name: str, dataset: DatasetModel,
 MAX_SIM_BATCHES = 256
 
 
-def batches_from_archive(archive: SAGeArchive) -> int:
+def _as_archive(archive) -> SAGeArchive:
+    """Accept either a raw archive or the :class:`SAGeDataset` facade.
+
+    The facade is the served path; letting the system model consume it
+    directly keeps the functional model and the service API from
+    drifting apart.
+    """
+    if isinstance(archive, SAGeArchive):
+        return archive
+    return archive.archive
+
+
+def batches_from_archive(archive) -> int:
     """Pipeline batch count of a real archive: one batch per block.
 
     The v3 container's independently decodable blocks are exactly the
     units that stream through the I/O → prep → analysis pipeline, so the
     simulator's ``n_batches`` is the archive's block count rather than a
-    free parameter.
+    free parameter.  Accepts a :class:`SAGeArchive` or a
+    :class:`repro.api.SAGeDataset`.
     """
-    return max(1, min(MAX_SIM_BATCHES, archive.n_blocks))
+    return max(1, min(MAX_SIM_BATCHES, _as_archive(archive).n_blocks))
 
 
 def batches_for_dataset(dataset: DatasetModel,
@@ -163,12 +176,13 @@ def batches_for_dataset(dataset: DatasetModel,
 def evaluate(prep_name: str, dataset: DatasetModel,
              system: SystemConfig | None = None,
              n_batches: int | None = None, *,
-             archive: SAGeArchive | None = None) -> EndToEndResult:
+             archive=None) -> EndToEndResult:
     """Run one configuration end to end and account energy.
 
     ``n_batches`` defaults to the dataset's real block structure: the
-    block count of ``archive`` when one is given, otherwise the count a
-    block-compressed version of ``dataset`` would have.
+    block count of ``archive`` (a :class:`SAGeArchive` or a
+    :class:`repro.api.SAGeDataset`) when one is given, otherwise the
+    count a block-compressed version of ``dataset`` would have.
     """
     system = system or SystemConfig()
     if n_batches is None:

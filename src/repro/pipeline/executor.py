@@ -34,7 +34,7 @@ from typing import Iterable, Iterator, Protocol, runtime_checkable
 
 import numpy as np
 
-from ..core.blocks import INFLIGHT_PER_WORKER, imap_bounded
+from ..core.blocks import BACKENDS, imap_bounded
 from ..core.container import SAGeArchive, SAGeBlock, block_as_archive
 from ..core.decompressor import SAGeDecompressor, \
     renumber_fallback_headers
@@ -46,10 +46,6 @@ from ..mapping.mapper import MapperConfig, ReadMapper
 __all__ = ["BACKENDS", "CollectSink", "ExecutorStats", "FastqSink",
            "MappingRateReport", "MappingRateSink", "PropertySink", "Sink",
            "StreamExecutor", "stream_read_sets"]
-
-#: Recognized decode backends.  ``auto`` picks ``serial`` for one worker
-#: and ``process`` (with graceful fallback) otherwise.
-BACKENDS = ("auto", "serial", "thread", "process")
 
 
 @dataclass
@@ -151,37 +147,36 @@ class StreamExecutor:
     archive:
         The (ideally blocked v3) archive to decode.  Flat archives work
         too — they are a single block, decoded serially.
-    workers:
-        Decode parallelism.  ``1`` is the serial reference path.
-    backend:
-        One of :data:`BACKENDS`.  ``auto`` (default) selects ``serial``
-        for one worker and ``process`` otherwise; ``thread`` trades
-        process-pool startup cost for GIL contention and suits archives
-        whose decode is I/O- or numpy-bound.
-    prefetch:
-        In-flight blocks per worker (default: the engine-wide
-        ``INFLIGHT_PER_WORKER``).  The decode window is
-        ``workers * prefetch``; memory is bounded by that many blocks.
+    options:
+        :class:`repro.api.EngineOptions` supplying ``workers`` (decode
+        parallelism; ``1`` is the serial reference path), ``backend``
+        (one of :data:`BACKENDS`; ``auto`` selects ``serial`` for one
+        worker and ``process`` otherwise, ``thread`` trades process-pool
+        startup cost for GIL contention) and ``prefetch`` (in-flight
+        blocks per worker; the decode window is ``workers * prefetch``
+        and memory is bounded by that many blocks).
+    workers / backend / prefetch:
+        Deprecated loose kwargs, folded into an ``EngineOptions`` with
+        a once-per-process :class:`DeprecationWarning`.
     decompressor:
         An existing :class:`SAGeDecompressor` to reuse (its unpacked
         consensus) on the serial and thread paths.
     """
 
-    def __init__(self, archive: SAGeArchive, *, workers: int = 1,
-                 backend: str = "auto", prefetch: int | None = None,
+    def __init__(self, archive: SAGeArchive, *, options=None,
+                 workers: int | None = None, backend: str | None = None,
+                 prefetch: int | None = None,
                  decompressor: SAGeDecompressor | None = None):
-        if workers < 1:
-            raise ValueError("workers must be >= 1")
-        if backend not in BACKENDS:
-            raise ValueError(f"unknown backend {backend!r}; "
-                             f"expected one of {BACKENDS}")
-        if prefetch is not None and prefetch < 1:
-            raise ValueError("prefetch must be >= 1")
+        from ..api.options import resolve_stream_options
+        options = resolve_stream_options(options, workers=workers,
+                                         backend=backend,
+                                         prefetch=prefetch,
+                                         caller="StreamExecutor")
         self.archive = archive
-        self.workers = workers
-        self.backend = backend
-        self.prefetch = prefetch if prefetch is not None \
-            else INFLIGHT_PER_WORKER
+        self.options = options
+        self.workers = options.workers
+        self.backend = options.backend
+        self.prefetch = options.effective_prefetch
         self._decompressor = decompressor
         self.stats = ExecutorStats()
 
@@ -304,12 +299,20 @@ class StreamExecutor:
             yield self._account(block)
 
 
-def stream_read_sets(archive: SAGeArchive, *, workers: int = 1,
-                     backend: str = "auto",
+def stream_read_sets(archive: SAGeArchive, *, options=None,
+                     workers: int | None = None,
+                     backend: str | None = None,
                      prefetch: int | None = None) -> Iterator[ReadSet]:
-    """One-shot convenience wrapper: iterate an archive's blocks."""
-    return iter(StreamExecutor(archive, workers=workers, backend=backend,
-                               prefetch=prefetch))
+    """One-shot convenience wrapper: iterate an archive's blocks.
+
+    Loose ``workers``/``backend``/``prefetch`` kwargs are deprecated in
+    favour of ``options`` (:class:`repro.api.EngineOptions`).
+    """
+    from ..api.options import resolve_stream_options
+    options = resolve_stream_options(options, workers=workers,
+                                     backend=backend, prefetch=prefetch,
+                                     caller="stream_read_sets")
+    return iter(StreamExecutor(archive, options=options))
 
 
 # ----------------------------------------------------------------------

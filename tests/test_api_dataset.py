@@ -1,0 +1,315 @@
+"""Tests for the SAGeDataset facade, EngineOptions, and sink registry."""
+
+import io
+import warnings
+
+import numpy as np
+import pytest
+
+from repro.api import (CallableSink, EngineOptions, SAGeDataset,
+                       available_sinks, make_sink, register_sink,
+                       unregister_sink)
+from repro.core import (OptLevel, SAGeArchive, SAGeCompressor, SAGeConfig,
+                        compress_blocked)
+from repro.genomics import fastq
+from repro.genomics import sequence as seq
+from repro.genomics.reads import partition_reads
+
+from tests.conftest import read_multiset
+
+BLOCK_READS = 16
+
+
+@pytest.fixture(scope="module")
+def blocked_options():
+    return EngineOptions(block_reads=BLOCK_READS)
+
+
+@pytest.fixture(scope="module")
+def dataset(rs3_small, blocked_options):
+    return SAGeDataset.from_fastq(rs3_small.read_set,
+                                  reference=rs3_small.reference,
+                                  options=blocked_options)
+
+
+@pytest.fixture()
+def fastq_dir(tmp_path, rs3_small):
+    fq = tmp_path / "reads.fastq"
+    ref = tmp_path / "ref.txt"
+    fastq.write_file(rs3_small.read_set, fq)
+    ref.write_text(seq.decode(rs3_small.reference), encoding="ascii")
+    return tmp_path
+
+
+class TestEngineOptions:
+    def test_defaults(self):
+        options = EngineOptions()
+        assert options.workers == 1
+        assert options.backend == "auto"
+        assert options.prefetch is None
+        assert not options.blocked
+        assert options.level is OptLevel.O4
+
+    @pytest.mark.parametrize("kwargs,fragment", [
+        (dict(workers=0), "workers"),
+        (dict(workers=-3), "workers"),
+        (dict(backend="gpu"), "backend"),
+        (dict(prefetch=0), "prefetch"),
+        (dict(block_reads=-1), "block_reads"),
+        (dict(level="O9"), "level"),
+        (dict(level=7), "level"),
+    ])
+    def test_validation_rejects_bad_values(self, kwargs, fragment):
+        with pytest.raises(ValueError, match=fragment):
+            EngineOptions(**kwargs)
+
+    def test_level_accepts_name(self):
+        assert EngineOptions(level="O2").level is OptLevel.O2
+
+    def test_blocked_derivation(self):
+        assert EngineOptions(block_reads=64).blocked
+        assert EngineOptions(workers=4).blocked
+        assert EngineOptions(workers=4).effective_block_reads > 0
+        assert EngineOptions(block_reads=64).effective_block_reads == 64
+
+    def test_window(self):
+        assert EngineOptions(workers=3, prefetch=2).window == 6
+        assert EngineOptions().window >= 1
+
+    def test_replace_revalidates(self):
+        options = EngineOptions(workers=2)
+        assert options.replace(workers=5).workers == 5
+        with pytest.raises(ValueError):
+            options.replace(workers=0)
+
+    def test_compressor_config(self):
+        options = EngineOptions(level="O2", with_quality=False,
+                                long_reads=True)
+        config = options.compressor_config()
+        assert config.level is OptLevel.O2
+        assert config.with_quality is False
+        assert config.long_reads is True
+
+    def test_from_archive_echo(self, dataset):
+        echo = EngineOptions.from_archive(dataset.archive)
+        assert echo.block_reads == BLOCK_READS
+        assert echo.level is OptLevel.O4
+        assert echo.with_quality is True
+        assert echo.to_dict()["level"] == "O4"
+
+
+class TestFacadeCompression:
+    def test_flat_byte_identical_to_legacy(self, rs3_small):
+        legacy = SAGeCompressor(rs3_small.reference, SAGeConfig()) \
+            .compress(rs3_small.read_set)
+        facade = SAGeDataset.from_fastq(rs3_small.read_set,
+                                        reference=rs3_small.reference)
+        assert facade.to_bytes() == legacy.to_bytes()
+        assert facade.n_blocks == 1
+
+    def test_blocked_byte_identical_to_legacy(self, rs3_small, dataset):
+        with warnings.catch_warnings():
+            warnings.simplefilter("ignore", DeprecationWarning)
+            legacy = compress_blocked(rs3_small.read_set,
+                                      rs3_small.reference,
+                                      block_reads=BLOCK_READS)
+        assert dataset.to_bytes() == legacy.to_bytes()
+        assert dataset.n_blocks > 2
+
+    def test_from_fastq_path_streams(self, fastq_dir, rs3_small,
+                                     blocked_options, dataset):
+        from_path = SAGeDataset.from_fastq(fastq_dir / "reads.fastq",
+                                           reference=fastq_dir / "ref.txt",
+                                           options=blocked_options)
+        assert read_multiset(from_path.read_set()) \
+            == read_multiset(rs3_small.read_set)
+        totals = from_path.source_totals
+        assert totals.reads == len(rs3_small.read_set)
+        assert totals.bases == rs3_small.read_set.total_bases
+        assert totals.fastq_bytes > 0
+
+    def test_from_prechunked_stream(self, rs3_small):
+        chunks = list(partition_reads(iter(rs3_small.read_set), 20))
+        ds = SAGeDataset.from_fastq(iter(chunks),
+                                    reference=rs3_small.reference)
+        assert ds.n_blocks == len(chunks)
+        assert ds.source_totals.reads == len(rs3_small.read_set)
+
+    def test_config_overrides_options(self, rs3_small):
+        ds = SAGeDataset.from_fastq(
+            rs3_small.read_set, reference=rs3_small.reference,
+            config=SAGeConfig(level=OptLevel.O1, with_quality=False))
+        assert ds.archive.level is OptLevel.O1
+        assert ds.archive.quality is None
+
+
+class TestFacadeSessions:
+    def test_save_open_roundtrip(self, tmp_path, dataset, rs3_small):
+        path = tmp_path / "rs3.sage"
+        nbytes = dataset.save(path)
+        assert path.stat().st_size == nbytes
+        with SAGeDataset.open(path) as session:
+            assert session.format_version == 3
+            assert session.n_blocks == dataset.n_blocks
+            assert read_multiset(session.read_set()) \
+                == read_multiset(rs3_small.read_set)
+        assert session.closed
+
+    def test_closed_session_rejects_streaming(self, tmp_path, dataset):
+        path = tmp_path / "rs3.sage"
+        dataset.save(path)
+        with SAGeDataset.open(path) as session:
+            pass
+        with pytest.raises(ValueError, match="closed"):
+            list(session.blocks())
+        with pytest.raises(ValueError, match="closed"):
+            session.save(path)
+
+    def test_save_version_2_flat(self, tmp_path, rs3_small):
+        ds = SAGeDataset.from_fastq(rs3_small.read_set,
+                                    reference=rs3_small.reference)
+        path = tmp_path / "flat.sage"
+        ds.save(path, version=2)
+        with SAGeDataset.open(path) as session:
+            assert session.format_version == 2
+            assert read_multiset(session.read_set()) \
+                == read_multiset(rs3_small.read_set)
+
+    def test_requires_archive(self):
+        with pytest.raises(TypeError):
+            SAGeDataset(b"not an archive")
+
+
+class TestFacadeStreaming:
+    def test_blocks_cover_archive_in_order(self, dataset):
+        sets = list(dataset.blocks())
+        assert len(sets) == dataset.n_blocks
+        expected = [dataset.decode_block(i)
+                    for i in range(dataset.n_blocks)]
+        assert [r.header for s in sets for r in s] \
+            == [r.header for s in expected for r in s]
+
+    def test_reads_flatten(self, dataset, rs3_small):
+        assert sum(1 for _ in dataset.reads()) \
+            == len(rs3_small.read_set)
+
+    def test_parallel_blocks_identical(self, dataset):
+        serial = list(dataset.blocks())
+        parallel = list(dataset.blocks(
+            options=EngineOptions(workers=2, block_reads=BLOCK_READS)))
+        text = "".join(fastq.format_read(r, 0)
+                       for s in serial for r in s)
+        assert text == "".join(fastq.format_read(r, 0)
+                               for s in parallel for r in s)
+
+    def test_to_fastq_handle_and_path(self, dataset, tmp_path):
+        buffer = io.StringIO()
+        n = dataset.to_fastq(buffer)
+        assert n == dataset.n_reads
+        path = tmp_path / "out.fastq"
+        assert dataset.to_fastq(path) == n
+        assert path.read_text(encoding="ascii") == buffer.getvalue()
+        assert buffer.getvalue() == fastq.write(dataset.read_set())
+
+    def test_stats_after_pass(self, dataset):
+        list(dataset.blocks())
+        stats = dataset.stats
+        assert stats.blocks == dataset.n_blocks
+        assert stats.reads == dataset.n_reads
+
+
+class TestFacadeAnalysis:
+    def test_analyze_default_property(self, dataset):
+        [report] = dataset.analyze()
+        assert report.n_reads == dataset.n_reads
+
+    def test_analyze_by_name(self, dataset):
+        report, rate = dataset.analyze("property", "mapping-rate")
+        assert report.n_reads == rate.n_reads == dataset.n_reads
+        assert rate.n_mapped + rate.n_unmapped == rate.n_reads
+
+    def test_pipe_fluent_chain(self, dataset):
+        pipeline = dataset.pipe("mapping-rate") \
+            .pipe(lambda block: len(block))
+        rate, sizes = pipeline.run()
+        assert sum(sizes) == dataset.n_reads
+        assert rate.n_reads == dataset.n_reads
+        assert pipeline.stats is not None
+        assert pipeline.stats.blocks == dataset.n_blocks
+
+    def test_pipe_accepts_sink_objects(self, dataset):
+        from repro.pipeline import CollectSink
+        [collected] = dataset.pipe(CollectSink()).run()
+        assert len(collected) == dataset.n_reads
+
+    def test_empty_pipeline_rejected(self, dataset):
+        with pytest.raises(ValueError, match="no sinks"):
+            dataset.pipe().run()
+
+    def test_unknown_sink_name(self, dataset):
+        with pytest.raises(ValueError, match="unknown sink"):
+            dataset.analyze("nope")
+
+    def test_bad_sink_spec(self, dataset):
+        with pytest.raises(TypeError):
+            dataset.pipe(42)
+
+
+class TestSinkRegistry:
+    def test_builtins_registered(self):
+        names = available_sinks()
+        assert {"property", "mapping-rate", "collect"} <= set(names)
+
+    def test_register_resolve_unregister(self, dataset):
+        register_sink("block-count",
+                      lambda ds: CallableSink(lambda block: 1))
+        try:
+            assert "block-count" in available_sinks()
+            [ones] = dataset.analyze("block-count")
+            assert sum(ones) == dataset.n_blocks
+        finally:
+            unregister_sink("block-count")
+        assert "block-count" not in available_sinks()
+
+    def test_duplicate_registration_rejected(self):
+        with pytest.raises(ValueError, match="already registered"):
+            register_sink("property", lambda ds: None)
+
+    def test_replace_allows_override(self, dataset):
+        from repro.pipeline import CollectSink
+        register_sink("collect", lambda ds: CallableSink(len),
+                      replace=True)
+        try:
+            replaced = make_sink("collect", dataset)
+            assert isinstance(replaced, CallableSink)
+        finally:
+            register_sink("collect", lambda ds: CollectSink(),
+                          replace=True)
+
+    def test_invalid_names_rejected(self):
+        with pytest.raises(ValueError):
+            register_sink("", lambda ds: None)
+        with pytest.raises(ValueError):
+            register_sink("x", "not callable")
+
+
+class TestSystemIntegration:
+    def test_hardware_verify_consumes_dataset(self, dataset):
+        from repro.hardware.sage_units import SAGeHardwareModel
+        from repro.hardware.ssd import pcie_ssd
+        model = SAGeHardwareModel(pcie_ssd())
+        assert model.verify(dataset)
+        assert model.verify(dataset,
+                            options=EngineOptions(workers=2))
+
+    def test_endtoend_consumes_dataset(self, dataset):
+        from repro.pipeline import (batches_from_archive, evaluate,
+                                    paper_dataset_models)
+        assert batches_from_archive(dataset) == dataset.n_blocks
+        assert batches_from_archive(dataset.archive) == dataset.n_blocks
+        model = paper_dataset_models()["RS2"]
+        result = evaluate("SAGe", model, archive=dataset)
+        assert result.throughput_bases_per_s > 0
+
+    def test_consensus_matches_reference(self, dataset, rs3_small):
+        assert np.array_equal(dataset.consensus, rs3_small.reference)

@@ -1,0 +1,158 @@
+"""Deprecation shims: old entry points forward to the facade.
+
+The legacy call paths (``repro.core.compress``/``decompress``, the
+loose ``workers=``/``backend=``/``prefetch=``/``block_reads=`` kwargs
+on the engines) must keep working byte-identically, emit a
+``DeprecationWarning`` exactly once per process per call shape, and
+produce exactly what the :class:`SAGeDataset` facade produces.
+"""
+
+import warnings
+from contextlib import contextmanager
+
+import pytest
+
+import repro.core as core
+from repro.api import (EngineOptions, SAGeDataset,
+                       reset_deprecation_warnings)
+from repro.core import SAGeDecompressor, compress_blocked
+from repro.genomics import fastq
+
+BLOCK_READS = 16
+
+
+@contextmanager
+def record_deprecations():
+    """Catch every warning with the once-per-process registry reset."""
+    reset_deprecation_warnings()
+    with warnings.catch_warnings(record=True) as caught:
+        warnings.simplefilter("always")
+        yield caught
+    reset_deprecation_warnings()
+
+
+def deprecations(caught):
+    return [w for w in caught
+            if issubclass(w.category, DeprecationWarning)]
+
+
+@pytest.fixture(scope="module")
+def facade(rs3_small):
+    return SAGeDataset.from_fastq(rs3_small.read_set,
+                                  reference=rs3_small.reference,
+                                  options=EngineOptions(
+                                      block_reads=BLOCK_READS))
+
+
+class TestCompressShim:
+    def test_warns_exactly_once_and_matches_facade(self, rs3_small):
+        with record_deprecations() as caught:
+            legacy = core.compress(rs3_small.read_set,
+                                   rs3_small.reference)
+            legacy_again = core.compress(rs3_small.read_set,
+                                         rs3_small.reference)
+        assert len(deprecations(caught)) == 1
+        facade_flat = SAGeDataset.from_fastq(rs3_small.read_set,
+                                             reference=rs3_small.reference)
+        assert legacy.to_bytes() == facade_flat.to_bytes()
+        assert legacy_again.to_bytes() == legacy.to_bytes()
+
+    def test_message_points_to_facade(self, rs3_small):
+        with record_deprecations() as caught:
+            core.compress(rs3_small.read_set, rs3_small.reference)
+        [warning] = deprecations(caught)
+        assert "SAGeDataset" in str(warning.message)
+
+
+class TestDecompressShim:
+    def test_warns_exactly_once_and_roundtrips(self, facade, rs3_small):
+        archive = facade.archive
+        with record_deprecations() as caught:
+            restored = core.decompress(archive)
+            core.decompress(archive)
+        assert len(deprecations(caught)) == 1
+        assert fastq.write(restored) == fastq.write(facade.read_set())
+
+
+class TestBlockedCompressShim:
+    def test_legacy_kwargs_byte_identical(self, rs3_small, facade):
+        with record_deprecations() as caught:
+            legacy = compress_blocked(rs3_small.read_set,
+                                      rs3_small.reference,
+                                      block_reads=BLOCK_READS)
+            compress_blocked(rs3_small.read_set, rs3_small.reference,
+                             block_reads=BLOCK_READS)
+        assert len(deprecations(caught)) == 1
+        assert legacy.to_bytes() == facade.to_bytes()
+
+    def test_options_path_is_silent(self, rs3_small, facade):
+        with record_deprecations() as caught:
+            archive = compress_blocked(
+                rs3_small.read_set, rs3_small.reference,
+                options=EngineOptions(block_reads=BLOCK_READS))
+        assert not deprecations(caught)
+        assert archive.to_bytes() == facade.to_bytes()
+
+    def test_options_and_legacy_kwargs_conflict(self, rs3_small):
+        with pytest.raises(ValueError, match="not both"):
+            compress_blocked(rs3_small.read_set, rs3_small.reference,
+                             options=EngineOptions(),
+                             block_reads=BLOCK_READS)
+
+
+class TestIterBlockReadSetsShim:
+    def test_legacy_workers_warn_once_and_match_serial(self, facade):
+        decoder = SAGeDecompressor(facade.archive)
+        serial = list(decoder.iter_block_read_sets())
+        with record_deprecations() as caught:
+            parallel = list(decoder.iter_block_read_sets(workers=2))
+            list(decoder.iter_block_read_sets(workers=2))
+        assert len(deprecations(caught)) == 1
+        text = "".join(fastq.format_read(r, 0)
+                       for s in serial for r in s)
+        assert text == "".join(fastq.format_read(r, 0)
+                               for s in parallel for r in s)
+
+    def test_options_path_is_silent(self, facade):
+        decoder = SAGeDecompressor(facade.archive)
+        with record_deprecations() as caught:
+            sets = list(decoder.iter_block_read_sets(
+                options=EngineOptions(workers=2)))
+        assert not deprecations(caught)
+        assert len(sets) == facade.n_blocks
+
+    def test_invalid_workers_still_valueerror(self, facade):
+        decoder = SAGeDecompressor(facade.archive)
+        with record_deprecations():
+            with pytest.raises(ValueError, match="workers"):
+                list(decoder.iter_block_read_sets(workers=0))
+
+
+class TestDecompressWorkersShim:
+    def test_legacy_workers_warn_once(self, facade):
+        with record_deprecations() as caught:
+            parallel = SAGeDecompressor(facade.archive).decompress(
+                workers=2)
+            SAGeDecompressor(facade.archive).decompress(workers=2)
+        assert len(deprecations(caught)) == 1
+        assert fastq.write(parallel) == fastq.write(facade.read_set())
+
+
+class TestStreamExecutorShim:
+    def test_legacy_kwargs_warn_once(self, facade):
+        from repro.pipeline.executor import CollectSink, StreamExecutor
+        with record_deprecations() as caught:
+            [collected] = StreamExecutor(facade.archive, workers=2) \
+                .run(CollectSink())
+            StreamExecutor(facade.archive, workers=2)
+        assert len(deprecations(caught)) == 1
+        assert len(collected) == facade.n_reads
+
+    def test_options_path_is_silent(self, facade):
+        from repro.pipeline.executor import CollectSink, StreamExecutor
+        with record_deprecations() as caught:
+            executor = StreamExecutor(facade.archive,
+                                      options=EngineOptions(workers=2))
+            [collected] = executor.run(CollectSink())
+        assert not deprecations(caught)
+        assert len(collected) == facade.n_reads

@@ -256,3 +256,73 @@ class TestSimulate:
         archive = tmp_path / "sim.sage"
         assert main(["compress", str(out),
                      str(tmp_path / "sim.ref.txt"), str(archive)]) == 0
+
+
+class TestAnalyzeSinks:
+    @pytest.fixture()
+    def blocked(self, workdir):
+        archive = workdir / "blocked.sage"
+        main(["compress", str(workdir / "reads.fastq"),
+              str(workdir / "ref.txt"), str(archive),
+              "--block-reads", "16"])
+        return archive
+
+    def test_named_sinks_json(self, blocked, rs3_small, capsys):
+        import json
+        capsys.readouterr()
+        assert main(["analyze", str(blocked), "--sink", "property",
+                     "--sink", "mapping-rate", "--json"]) == 0
+        info = json.loads(capsys.readouterr().out)
+        sinks = info["sinks"]
+        assert set(sinks) == {"property", "mapping-rate"}
+        assert sinks["property"]["n_reads"] == len(rs3_small.read_set)
+        assert sinks["mapping-rate"]["n_reads"] \
+            == len(rs3_small.read_set)
+        assert info["stream"]["blocks"] > 1
+
+    def test_named_sinks_text(self, blocked, capsys):
+        capsys.readouterr()
+        assert main(["analyze", str(blocked),
+                     "--sink", "mapping-rate"]) == 0
+        out = capsys.readouterr().out
+        assert "[mapping-rate]" in out
+        assert "peak in-flight blocks" in out
+
+    def test_unknown_sink_exits(self, blocked):
+        with pytest.raises(SystemExit):
+            main(["analyze", str(blocked), "--sink", "nope"])
+
+    def test_sink_and_mapping_rate_conflict(self, blocked):
+        with pytest.raises(SystemExit):
+            main(["analyze", str(blocked), "--sink", "property",
+                  "--mapping-rate"])
+
+
+class TestInspectFormatVersion:
+    def test_v3_format_version_and_options_echo(self, workdir, capsys):
+        import json
+        archive = workdir / "reads.sage"
+        main(["compress", str(workdir / "reads.fastq"),
+              str(workdir / "ref.txt"), str(archive),
+              "--block-reads", "16"])
+        capsys.readouterr()
+        assert main(["inspect", str(archive), "--json"]) == 0
+        info = json.loads(capsys.readouterr().out)
+        assert info["format_version"] == 3
+        options = info["options"]
+        assert options["block_reads"] == 16
+        assert options["level"] == "O4"
+        assert options["with_quality"] is True
+
+    def test_v2_format_version(self, workdir, rs3_small, capsys):
+        import json
+        from repro.api import SAGeDataset
+        flat = SAGeDataset.from_fastq(rs3_small.read_set,
+                                      reference=rs3_small.reference)
+        path = workdir / "v2.sage"
+        flat.save(path, version=2)
+        capsys.readouterr()
+        assert main(["inspect", str(path), "--json"]) == 0
+        info = json.loads(capsys.readouterr().out)
+        assert info["format_version"] == 2
+        assert info["options"]["block_reads"] == 0
