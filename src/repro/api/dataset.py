@@ -236,10 +236,11 @@ class SAGeDataset:
         return self.decompressor().consensus
 
     def decompressor(self) -> SAGeDecompressor:
-        """The session's (cached) reference decoder."""
+        """The session's (cached) decoder, on the session codec kernel."""
         self._require_open()
         if self._decompressor is None:
-            self._decompressor = SAGeDecompressor(self._archive)
+            self._decompressor = SAGeDecompressor(
+                self._archive, codec=self.options.codec)
         return self._decompressor
 
     # ------------------------------------------------------------------

@@ -18,6 +18,7 @@ from dataclasses import dataclass
 from .._compat import warn_once
 from ..core.blocks import BACKENDS, DEFAULT_BLOCK_READS, INFLIGHT_PER_WORKER
 from ..core.compressor import SAGeConfig
+from ..core.kernels import available_kernels
 from ..core.mismatch import OptLevel
 
 __all__ = ["EngineOptions", "resolve_stream_options"]
@@ -51,6 +52,13 @@ class EngineOptions:
         Force the long-read encoding paths (``None`` = auto-detect).
     with_quality:
         Keep quality scores when compressing.
+    codec:
+        Codec kernel for the array-stream encode/decode hot path, one
+        of :func:`repro.core.kernels.available_kernels` (``python`` =
+        bit-serial reference, ``numpy`` = vectorized batch kernel).
+        ``auto`` resolves through ``$SAGE_CODEC`` to the registry
+        default.  Archives are byte-identical across kernels — this is
+        a pure-speed knob.
     """
 
     workers: int = 1
@@ -60,6 +68,7 @@ class EngineOptions:
     level: OptLevel | str = OptLevel.O4
     long_reads: bool | None = None
     with_quality: bool = True
+    codec: str = "auto"
 
     def __post_init__(self) -> None:
         if isinstance(self.level, str):
@@ -87,6 +96,10 @@ class EngineOptions:
             raise ValueError(
                 f"block_reads must be >= 0 (0 = flat single-section "
                 f"archive), got {self.block_reads!r}")
+        if self.codec != "auto" and self.codec not in available_kernels():
+            raise ValueError(
+                f"unknown codec {self.codec!r}; expected 'auto' or one "
+                f"of {available_kernels()}")
 
     # ------------------------------------------------------------------
     # Derived views
@@ -124,7 +137,7 @@ class EngineOptions:
         keeps the :class:`SAGeConfig` defaults (override via kwargs).
         """
         kwargs = dict(level=self.level, with_quality=self.with_quality,
-                      long_reads=self.long_reads)
+                      long_reads=self.long_reads, codec=self.codec)
         kwargs.update(overrides)
         return SAGeConfig(**kwargs)
 
@@ -150,6 +163,7 @@ class EngineOptions:
             "level": self.level.name,
             "long_reads": self.long_reads,
             "with_quality": self.with_quality,
+            "codec": self.codec,
         }
 
 

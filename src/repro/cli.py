@@ -3,13 +3,15 @@
 Subcommands::
 
     sage compress   input.fastq consensus.txt output.sage [--level O4]
-                    [--workers N] [--block-reads M]
-    sage decompress input.sage output.fastq [--workers N]
+                    [--workers N] [--block-reads M] [--codec NAME]
+    sage decompress input.sage output.fastq [--workers N] [--codec NAME]
     sage cat        input.sage [--block I] [--output out.fastq]
-                    [--workers N]
+                    [--workers N] [--codec NAME]
     sage analyze    input.sage [--workers N] [--sink NAME ...]
-                    [--mapping-rate] [--json]
+                    [--mapping-rate] [--json] [--codec NAME]
     sage inspect    input.sage [--json]
+    sage bench      input.{sage,fastq} [--consensus ref.txt]
+                    [--codec NAME ...] [--repeat R] [--json]
     sage simulate   RS2 output.fastq [--genome 50000] [--ref ref.txt]
 
 The consensus file is plain ACGT text (a reference genome); ``simulate``
@@ -28,6 +30,12 @@ block without touching the rest of the archive; ``sage analyze`` runs
 named sinks from the facade's registry (``--sink property --sink
 mapping-rate``) directly off an archive, using the archive's own
 consensus as the reference.
+
+``--codec NAME`` selects the codec kernel for the array-stream hot path
+(:mod:`repro.core.kernels`): ``python`` is the bit-serial reference,
+``numpy`` the vectorized batch kernel; archives are byte-identical
+across kernels.  ``sage bench`` measures encode/decode MB/s for every
+requested kernel on a FASTQ file or an existing archive.
 """
 
 from __future__ import annotations
@@ -40,6 +48,7 @@ from pathlib import Path
 from .api import EngineOptions, SAGeDataset, available_sinks
 from .core import OptLevel, SAGeArchive
 from .core.container import STREAM_NAMES
+from .core.kernels import available_kernels, resolve_codec
 from .genomics import datasets, fastq
 from .genomics import sequence as seqmod
 from .genomics.reads import ReadSet
@@ -57,7 +66,8 @@ def _cmd_compress(args: argparse.Namespace) -> int:
     options = _engine_options(workers=args.workers,
                               block_reads=args.block_reads,
                               level=args.level,
-                              with_quality=not args.no_quality)
+                              with_quality=not args.no_quality,
+                              codec=args.codec)
     dataset = SAGeDataset.from_fastq(args.input,
                                      reference=args.consensus,
                                      options=options)
@@ -73,7 +83,7 @@ def _cmd_compress(args: argparse.Namespace) -> int:
 
 
 def _cmd_decompress(args: argparse.Namespace) -> int:
-    options = _engine_options(workers=args.workers)
+    options = _engine_options(workers=args.workers, codec=args.codec)
     # Stream block by block: FASTQ for block i is written while block
     # i+1 is still decoding, and the dataset is never materialized.
     with SAGeDataset.open(args.input, options=options) as dataset:
@@ -83,7 +93,7 @@ def _cmd_decompress(args: argparse.Namespace) -> int:
 
 
 def _cmd_cat(args: argparse.Namespace) -> int:
-    options = _engine_options(workers=args.workers)
+    options = _engine_options(workers=args.workers, codec=args.codec)
     with SAGeDataset.open(args.input, options=options) as dataset:
         if args.block is not None:
             if not 0 <= args.block < dataset.n_blocks:
@@ -156,7 +166,7 @@ def _print_property_text(info: dict) -> None:
 
 
 def _cmd_analyze(args: argparse.Namespace) -> int:
-    options = _engine_options(workers=args.workers)
+    options = _engine_options(workers=args.workers, codec=args.codec)
     sink_names = list(args.sink or [])
     if args.mapping_rate:
         if sink_names:
@@ -307,6 +317,82 @@ def _cmd_inspect(args: argparse.Namespace) -> int:
     return 0
 
 
+def _bench_load(args: argparse.Namespace):
+    """Resolve the bench input into (reads, consensus, source label)."""
+    import numpy as np
+
+    with Path(args.input).open("rb") as handle:
+        blob_head = handle.read(4)
+    if blob_head == b"SAGE":
+        with SAGeDataset.open(args.input) as dataset:
+            reads = dataset.read_set()
+            consensus = np.array(dataset.consensus)
+        return reads, consensus, "archive"
+    if not args.consensus:
+        raise SystemExit(
+            "sage: bench on a FASTQ input needs --consensus REF.txt")
+    reads = fastq.read_file(args.input)
+    text = Path(args.consensus).read_text(encoding="ascii") \
+        .strip().replace("\n", "")
+    return reads, seqmod.encode(text), "fastq"
+
+
+def _cmd_bench(args: argparse.Namespace) -> int:
+    """Measure per-kernel encode/decode throughput (MB/s of FASTQ)."""
+    import time
+
+    codecs = list(args.codec or available_kernels())
+    try:
+        codecs = [resolve_codec(c) for c in codecs]
+    except ValueError as exc:
+        raise SystemExit(f"sage: {exc}") from None
+    reads, consensus, source = _bench_load(args)
+    fastq_mb = reads.uncompressed_fastq_bytes() / 1e6
+    rows = {}
+    blobs = {}
+    for codec in codecs:
+        options = _engine_options(codec=codec, level=args.level,
+                                  block_reads=args.block_reads,
+                                  with_quality=not args.no_quality)
+        enc_best = dec_best = float("inf")
+        archive = None
+        for _ in range(max(1, args.repeat)):
+            t0 = time.perf_counter()
+            dataset = SAGeDataset.from_fastq(reads, reference=consensus,
+                                             options=options)
+            enc_best = min(enc_best, time.perf_counter() - t0)
+            archive = dataset.archive
+        blobs[codec] = archive.to_bytes()
+        for _ in range(max(1, args.repeat)):
+            session = SAGeDataset(archive,
+                                  options=EngineOptions(codec=codec))
+            t0 = time.perf_counter()
+            session.read_set()
+            dec_best = min(dec_best, time.perf_counter() - t0)
+        rows[codec] = {"encode_s": round(enc_best, 4),
+                       "decode_s": round(dec_best, 4),
+                       "encode_mb_s": round(fastq_mb / enc_best, 2),
+                       "decode_mb_s": round(fastq_mb / dec_best, 2)}
+    identical = len({blob for blob in blobs.values()}) == 1
+    info = {"input": args.input, "source": source,
+            "reads": len(reads), "fastq_mb": round(fastq_mb, 3),
+            "repeat": args.repeat, "archives_byte_identical": identical,
+            "kernels": rows}
+    if args.json:
+        print(json.dumps(info, indent=2, sort_keys=True))
+        return 0
+    print(f"{args.input}: {len(reads)} reads, {fastq_mb:.2f} MB FASTQ "
+          f"(best of {args.repeat})")
+    print(f"{'codec':<10}{'encode MB/s':>14}{'decode MB/s':>14}")
+    for codec, row in rows.items():
+        print(f"{codec:<10}{row['encode_mb_s']:>14.2f}"
+              f"{row['decode_mb_s']:>14.2f}")
+    if len(rows) > 1:
+        print("archives byte-identical across kernels: "
+              f"{'yes' if identical else 'NO (BUG)'}")
+    return 0
+
+
 def _cmd_simulate(args: argparse.Namespace) -> int:
     sim = datasets.generate(args.dataset, base_genome=args.genome,
                             seed=args.seed)
@@ -318,6 +404,15 @@ def _cmd_simulate(args: argparse.Namespace) -> int:
           f"({sim.read_set.total_bases} bases) -> {args.output}; "
           f"reference -> {ref_path}")
     return 0
+
+
+def _add_codec_flag(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument("--codec", default="auto",
+                        help="codec kernel for the array-stream hot "
+                             f"path (auto or one of: "
+                             f"{', '.join(available_kernels())}); "
+                             "archives are byte-identical across "
+                             "kernels")
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -337,6 +432,7 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--block-reads", type=int, default=0,
                    help="reads per independently decodable block "
                         "(0 = single-block archive)")
+    _add_codec_flag(p)
     p.set_defaults(func=_cmd_compress)
 
     p = sub.add_parser("decompress", help="decompress to FASTQ")
@@ -345,6 +441,7 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--workers", type=int, default=1,
                    help="worker processes for parallel block decode "
                         "(output is byte-identical for every N)")
+    _add_codec_flag(p)
     p.set_defaults(func=_cmd_decompress)
 
     p = sub.add_parser("cat", help="decode blocks to FASTQ on stdout")
@@ -355,6 +452,7 @@ def build_parser() -> argparse.ArgumentParser:
                    help="write FASTQ here instead of stdout")
     p.add_argument("--workers", type=int, default=1,
                    help="worker processes for parallel block decode")
+    _add_codec_flag(p)
     p.set_defaults(func=_cmd_cat)
 
     p = sub.add_parser("analyze",
@@ -374,6 +472,7 @@ def build_parser() -> argparse.ArgumentParser:
                         "--sink mapping-rate with the classic layout)")
     p.add_argument("--json", action="store_true",
                    help="emit machine-readable JSON")
+    _add_codec_flag(p)
     p.set_defaults(func=_cmd_analyze)
 
     p = sub.add_parser("inspect", help="describe an archive")
@@ -382,6 +481,28 @@ def build_parser() -> argparse.ArgumentParser:
                    help="emit machine-readable JSON metadata "
                         "(includes format_version and an options echo)")
     p.set_defaults(func=_cmd_inspect)
+
+    p = sub.add_parser("bench",
+                       help="measure codec kernel encode/decode MB/s")
+    p.add_argument("input",
+                   help="a .sage archive or a FASTQ file")
+    p.add_argument("--consensus", default=None,
+                   help="reference text file (required for FASTQ input)")
+    p.add_argument("--codec", action="append", default=None,
+                   metavar="NAME",
+                   help="kernel to measure (repeatable; default: all "
+                        f"registered: {', '.join(available_kernels())})")
+    p.add_argument("--level", default="O4",
+                   choices=[lvl.name for lvl in OptLevel])
+    p.add_argument("--block-reads", type=int, default=0,
+                   help="reads per block for the encode pass")
+    p.add_argument("--no-quality", action="store_true",
+                   help="drop quality scores (isolates the DNA codec)")
+    p.add_argument("--repeat", type=int, default=3,
+                   help="measurement repetitions (best time wins)")
+    p.add_argument("--json", action="store_true",
+                   help="emit machine-readable JSON")
+    p.set_defaults(func=_cmd_bench)
 
     p = sub.add_parser("simulate", help="generate a synthetic read set")
     p.add_argument("dataset", choices=["RS1", "RS2", "RS3", "RS4", "RS5"])

@@ -1,6 +1,6 @@
 """SAGe core: the paper's compression/decompression contribution (§5)."""
 
-from . import bitio, blocks, formats, prefix_codes, quality, tuning
+from . import bitio, blocks, formats, kernels, prefix_codes, quality, tuning
 from .blocks import (BACKENDS, DEFAULT_BLOCK_READS, INFLIGHT_PER_WORKER,
                      BlockCompressor, compress_blocked, imap_bounded,
                      partition_reads)
@@ -9,12 +9,15 @@ from .container import (BlockIndexEntry, ContainerError, SAGeArchive,
                         SAGeBlock)
 from .decompressor import DecompressionError, SAGeDecompressor, decompress
 from .formats import OutputFormat
+from .kernels import (CodecKernel, available_kernels, get_kernel,
+                      register_kernel, resolve_codec)
 from .mismatch import CATEGORIES, OptLevel, SizeBreakdown
 from .prefix_codes import AssociationTable
 from .tuning import TuningResult, bit_count_histogram, tune, tune_values
 
 __all__ = [
-    "bitio", "blocks", "formats", "prefix_codes", "quality", "tuning",
+    "bitio", "blocks", "formats", "kernels", "prefix_codes", "quality",
+    "tuning",
     "BACKENDS", "DEFAULT_BLOCK_READS", "INFLIGHT_PER_WORKER",
     "BlockCompressor",
     "compress_blocked", "imap_bounded",
@@ -22,6 +25,8 @@ __all__ = [
     "compress", "BlockIndexEntry", "ContainerError", "SAGeArchive",
     "SAGeBlock", "DecompressionError", "SAGeDecompressor", "decompress",
     "OutputFormat", "CATEGORIES", "OptLevel", "SizeBreakdown",
+    "CodecKernel", "available_kernels", "get_kernel", "register_kernel",
+    "resolve_codec",
     "AssociationTable", "TuningResult", "bit_count_histogram", "tune",
     "tune_values",
 ]

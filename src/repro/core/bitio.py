@@ -5,6 +5,11 @@ hardware consumes as a bit stream with small shift registers (§5.2).  The
 software model mirrors that: :class:`BitWriter` packs MSB-first fields into
 bytes, :class:`BitReader` consumes them strictly sequentially — there is no
 random access, by construction, matching the streaming-access contract.
+
+These two classes are the *reference* (bit-serial) codec primitives; the
+vectorized kernel layer (:mod:`repro.core.kernels`) provides batched
+drop-in counterparts (``TokenWriter`` / ``FastReader``) that produce and
+consume byte-identical streams.
 """
 
 from __future__ import annotations
@@ -16,6 +21,8 @@ class BitIOError(ValueError):
 
 class BitWriter:
     """Append-only MSB-first bit stream writer."""
+
+    __slots__ = ("_bytes", "_acc", "_nbits", "_total_bits")
 
     def __init__(self) -> None:
         self._bytes = bytearray()
@@ -46,6 +53,57 @@ class BitWriter:
             self._nbits -= 8
             self._bytes.append((self._acc >> self._nbits) & 0xFF)
         self._acc &= (1 << self._nbits) - 1
+
+    def write_run(self, values, nbits: int) -> None:
+        """Write every value of ``values`` as an ``nbits``-wide field.
+
+        Bulk counterpart of :meth:`write` for runs of same-width fields
+        (insertion bases, raw matching positions, order permutations);
+        the emitted bits are identical to writing each value in a loop,
+        without per-value method dispatch.  Accepts any iterable,
+        including numpy arrays.
+        """
+        if nbits < 0:
+            raise BitIOError("field width must be non-negative")
+        if nbits == 0:
+            return
+        if hasattr(values, "tolist"):          # numpy array fast path
+            values = values.tolist()
+        acc = self._acc
+        nb = self._nbits
+        out = self._bytes
+        count = 0
+        for value in values:
+            if value < 0 or value >> nbits:
+                # Restore a consistent prefix before failing, exactly as
+                # a per-value write loop would have left it.
+                self._acc, self._nbits = acc, nb
+                self._total_bits += count * nbits
+                raise BitIOError(
+                    f"value {value} does not fit in {nbits} bits")
+            acc = (acc << nbits) | value
+            nb += nbits
+            count += 1
+            while nb >= 8:
+                nb -= 8
+                out.append((acc >> nb) & 0xFF)
+            acc &= (1 << nb) - 1
+        self._acc, self._nbits = acc, nb
+        self._total_bits += count * nbits
+
+    def write_fields(self, values, widths) -> None:
+        """Write paired ``values[i]`` as ``widths[i]``-wide fields.
+
+        Bulk counterpart of :meth:`write` for runs of *variable*-width
+        fields — the batched emission primitive of
+        :meth:`repro.core.prefix_codes.AssociationTable.encode_run`.
+        """
+        if hasattr(values, "tolist"):
+            values = values.tolist()
+        if hasattr(widths, "tolist"):
+            widths = widths.tolist()
+        for value, width in zip(values, widths):
+            self.write(value, width)
 
     def write_bit(self, bit: int) -> None:
         """Write a single bit (0 or 1)."""
@@ -95,14 +153,31 @@ class BitWriter:
 
 
 class BitReader:
-    """Strictly sequential MSB-first bit stream reader."""
+    """Strictly sequential MSB-first bit stream reader.
 
-    def __init__(self, data: bytes, bit_length: int | None = None) -> None:
+    ``name`` (optional) labels the stream in error messages, so a read
+    past the end of e.g. the mismatch-position array reports *which*
+    stream ran dry and at what bit offset.
+    """
+
+    __slots__ = ("_data", "_limit", "_pos", "name")
+
+    def __init__(self, data: bytes, bit_length: int | None = None, *,
+                 name: str = "") -> None:
         self._data = data
+        self.name = name
         self._limit = 8 * len(data) if bit_length is None else bit_length
         if self._limit > 8 * len(data):
-            raise BitIOError("bit_length exceeds the buffer")
+            raise BitIOError(
+                f"{name or 'bit stream'}: bit_length {self._limit} "
+                f"exceeds the {8 * len(data)}-bit buffer")
         self._pos = 0
+
+    def _past_end(self, nbits: int) -> BitIOError:
+        """A contextual past-end error: stream name + bit offset."""
+        return BitIOError(
+            f"{self.name or 'bit stream'}: read of {nbits} bits past end "
+            f"at bit {self._pos} (stream is {self._limit} bits)")
 
     @property
     def position(self) -> int:
@@ -121,7 +196,7 @@ class BitReader:
         if nbits == 0:
             return 0
         if self._pos + nbits > self._limit:
-            raise BitIOError("read past end of bit stream")
+            raise self._past_end(nbits)
         value = 0
         pos = self._pos
         need = nbits
@@ -150,7 +225,7 @@ class BitReader:
     def read_bytes(self, count: int) -> bytes:
         """Read ``count`` raw bytes (fast path when byte-aligned)."""
         if self._pos + 8 * count > self._limit:
-            raise BitIOError("read past end of bit stream")
+            raise self._past_end(8 * count)
         if self._pos & 7 == 0:
             start = self._pos >> 3
             self._pos += 8 * count

@@ -170,7 +170,11 @@ class BlockCompressor:
     consensus:
         The consensus sequence (A/C/G/T codes) all blocks map against.
     config:
-        Shared :class:`SAGeConfig`; never mutated.
+        Shared :class:`SAGeConfig`; never mutated.  Its ``codec`` field
+        selects the encode kernel (:mod:`repro.core.kernels`) and ships
+        to the worker processes with the rest of the config — every
+        kernel (and every worker count) produces a byte-identical
+        archive.
     options:
         :class:`repro.api.EngineOptions` supplying the block partition
         size (``effective_block_reads``) and compression ``workers``.

@@ -28,6 +28,7 @@ from . import headers as headers_codec
 from . import quality as quality_codec
 from .bitio import BitWriter
 from .container import STREAM_NAMES, SAGeArchive
+from .kernels import resolve_kernel
 from .formats import pack_bits
 from .mismatch import (INDEL_DEL, INDEL_INS, TYPE_DEL, TYPE_INS, TYPE_SUB,
                        OptLevel, SizeBreakdown)
@@ -53,6 +54,10 @@ class SAGeConfig:
     epsilon: float = DEFAULT_EPSILON
     long_reads: bool | None = None    # None => auto (variable lengths)
     mapper: MapperConfig | None = None
+    #: Codec kernel emitting the array streams ("auto" resolves through
+    #: $SAGE_CODEC to the registry default).  Every kernel produces a
+    #: byte-identical archive; see :mod:`repro.core.kernels`.
+    codec: str = "auto"
     # Extensions beyond the paper's default configuration:
     preserve_order: bool = False      # store the original read order
     with_headers: bool = False        # store read headers (front-coded)
@@ -99,13 +104,6 @@ class _ReadPlan:
 @dataclass
 class _UnmappedPlan:
     codes: np.ndarray
-
-
-@dataclass
-class _EncodeState:
-    """Cross-read encoder state (delta bases, stream marks)."""
-
-    prev_cons: int = 0
 
 
 class CompressionError(ValueError):
@@ -255,13 +253,14 @@ class SAGeCompressor:
 
         # ---- Algorithm 1 tuning over the read set's statistics ----
         tables: dict[str, AssociationTable] = {}
+        mp_deltas: list[int] = []
         if level.reorder:
-            deltas, prev = [], 0
+            prev = 0
             for plan in plans:
-                deltas.append(plan.first_cons - prev)
+                mp_deltas.append(plan.first_cons - prev)
                 prev = plan.first_cons
-            tables["mp"] = tune_values(deltas, cfg.epsilon).table \
-                if deltas else AssociationTable((w_cons,))
+            tables["mp"] = tune_values(mp_deltas, cfg.epsilon).table \
+                if mp_deltas else AssociationTable((w_cons,))
         if level.tuned_mismatch:
             counts, pos_values = [], []
             for plan, events in zip(plans, expanded):
@@ -288,23 +287,42 @@ class SAGeCompressor:
                 block_lengths, cfg.epsilon).table \
                 if block_lengths else AssociationTable((1,))
 
-        # ---- stream writers ----
-        writers = {name: BitWriter() for name in STREAM_NAMES}
+        # ---- stream writers (kernel-provided sinks) ----
+        kernel = resolve_kernel(cfg.codec)
+        writers = {name: kernel.new_writer(name) for name in STREAM_NAMES}
 
         self._write_consensus(writers["consensus"], breakdown)
-        state = _EncodeState()
+
+        # ---- column passes: streams owned by a single field kind are
+        # emitted as one batched run per block.  Byte-identical to the
+        # historical per-read interleave because no other field ever
+        # writes to these streams. ----
+        if plans:
+            if not fixed_length:
+                lengths = writers["lengths"]
+                tables["len"].encode_run([p.length for p in plans],
+                                         lengths, lengths)
+                breakdown.charge("read_length", lengths.bit_length)
+            if level.reorder:
+                tables["mp"].encode_run(mp_deltas, writers["mpga"],
+                                        writers["mpa"])
+            else:
+                writers["mpa"].write_run([p.first_cons for p in plans],
+                                         w_cons)
+            breakdown.charge("matching_pos",
+                             writers["mpga"].bit_length
+                             + writers["mpa"].bit_length)
+
         for plan, events in zip(plans, expanded):
             self._write_read(plan, events, writers, tables, breakdown,
-                             level, long_reads, fixed_length, w_rlen,
-                             w_cons, state)
+                             level, long_reads, w_rlen, w_cons)
         self._write_unmapped(unmapped, writers["unmapped"], breakdown,
                              fixed_length, w_rlen)
 
         if cfg.preserve_order and permutation:
             w_reads = max(1, (len(read_set) - 1).bit_length())
             order = writers["order"]
-            for original_index in permutation:
-                order.write(original_index, w_reads)
+            order.write_run(permutation, w_reads)
             breakdown.charge("header", order.bit_length)
 
         headers_blob = None
@@ -366,43 +384,31 @@ class SAGeCompressor:
                     writers: dict[str, BitWriter],
                     tables: dict[str, AssociationTable],
                     breakdown: SizeBreakdown, level: OptLevel,
-                    long_reads: bool, fixed_length: bool, w_rlen: int,
-                    w_cons: int, state: _EncodeState) -> None:
-        mpa, mpga = writers["mpa"], writers["mpga"]
+                    long_reads: bool, w_rlen: int, w_cons: int) -> None:
         mbta, side = writers["mbta"], writers["side"]
-        corner, lengths = writers["corner"], writers["lengths"]
+        corner = writers["corner"]
         mmpga = writers["mmpga"]
 
-        # Read length (long reads; Fig. 17 "Read Length").
-        if not fixed_length:
-            start = lengths.bit_length
-            tables["len"].encode(plan.length, lengths, lengths)
-            breakdown.charge("read_length", lengths.bit_length - start)
+        # Read lengths and matching positions are emitted as batched
+        # column passes in :meth:`_encode` (their streams are exclusive
+        # to those fields); this method writes the interleaved per-read
+        # remainder.
 
         # Rev flag.
         mbta.write_bit(plan.reverse)
         breakdown.charge("rev", 1)
 
-        # Matching position (Fig. 17 "Matching Pos.").
-        start_mp = mpa.bit_length + mpga.bit_length + side.bit_length
-        if level.reorder:
-            delta = plan.first_cons - state.prev_cons
-            tables["mp"].encode(delta, mpga, mpa)
-            state.prev_cons = plan.first_cons
-        else:
-            mpa.write(plan.first_cons, w_cons)
-
-        # Chimeric side info (O3+, long reads only).
+        # Chimeric side info (O3+, long reads only; the side stream is
+        # charged to Fig. 17 "Matching Pos." with the mp arrays).
         if level.chimeric and long_reads:
+            start = side.bit_length
             side.write_bit(1 if plan.extra_segments else 0)
             if plan.extra_segments:
                 side.write(len(plan.extra_segments), 2)
                 for core_start, cons_start in plan.extra_segments:
                     side.write(core_start, w_rlen)
                     side.write(cons_start, w_cons)
-        breakdown.charge("matching_pos",
-                         mpa.bit_length + mpga.bit_length
-                         + side.bit_length - start_mp)
+            breakdown.charge("matching_pos", side.bit_length - start)
 
         # Mismatch count (Fig. 17 "Mismatch Counts").
         pseudo = 1 if (level.corner_marker and plan.is_corner) else 0
@@ -481,8 +487,7 @@ class SAGeCompressor:
                 self._write_indel_length(event, mmpa, mmpga, tables,
                                          breakdown, level)
                 if event.kind == INS:
-                    for base in event.bases:
-                        mbta.write(int(base), 2)
+                    mbta.write_run(event.bases, 2)
                     breakdown.charge("mismatch_bases", 2 * event.length)
         else:
             type_code = {SUB: TYPE_SUB, INS: TYPE_INS,
@@ -496,8 +501,7 @@ class SAGeCompressor:
                 self._write_indel_length(event, mmpa, mmpga, tables,
                                          breakdown, level)
                 if event.kind == INS:
-                    for base in event.bases:
-                        mbta.write(int(base), 2)
+                    mbta.write_run(event.bases, 2)
                     breakdown.charge("mismatch_bases", 2 * event.length)
 
     @staticmethod

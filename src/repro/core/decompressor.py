@@ -32,6 +32,7 @@ from .bitio import BitReader
 from .compressor import INDEL_LENGTH_BITS, RAW_COUNT_BITS
 from .container import SAGeArchive
 from .formats import unpack_bits
+from .kernels import resolve_kernel
 from .mismatch import INDEL_INS, TYPE_DEL, TYPE_INS, TYPE_SUB, OptLevel
 
 
@@ -45,8 +46,10 @@ def renumber_fallback_headers(read_set: ReadSet, base: int,
 
     Blocks without a headers blob decode with headers counted from 0;
     offsetting by the preceding blocks' read counts keeps headers
-    globally unique.  Shared by the serial per-block decode and the
-    parallel decode workers so both name reads identically.
+    globally unique.  The in-tree block decoders now pass the offset
+    straight into :meth:`SAGeDecompressor.decompress` (``header_base``)
+    so reads are built once; this helper remains for callers holding an
+    already-decoded block.
     """
     name = name or "sage"
     return ReadSet(
@@ -56,11 +59,19 @@ def renumber_fallback_headers(read_set: ReadSet, base: int,
 
 
 class SAGeDecompressor:
-    """Decodes a :class:`SAGeArchive` back into reads."""
+    """Decodes a :class:`SAGeArchive` back into reads.
+
+    ``codec`` picks the decode kernel (:mod:`repro.core.kernels`):
+    ``"python"`` is the bit-serial reference walk, ``"numpy"`` the
+    vectorized batch path, ``"auto"`` resolves through ``$SAGE_CODEC``
+    to the registry default.  Every kernel returns identical reads.
+    """
 
     def __init__(self, archive: SAGeArchive, *,
-                 consensus: np.ndarray | None = None):
+                 consensus: np.ndarray | None = None,
+                 codec: str = "auto"):
         self.archive = archive
+        self.codec = codec
         # ``consensus`` lets per-block decoders reuse the parent's
         # already-unpacked consensus instead of unpacking it per block.
         if consensus is None:
@@ -73,7 +84,7 @@ class SAGeDecompressor:
     # ------------------------------------------------------------------
 
     def decompress(self, *, workers: int | None = None,
-                   options=None) -> ReadSet:
+                   options=None, header_base: int | None = None) -> ReadSet:
         """Decode every read (and quality scores, if present).
 
         Blocked (v3 multi-section) archives are decoded block by block
@@ -84,6 +95,13 @@ class SAGeDecompressor:
         blocks in parallel through the streaming executor
         (:mod:`repro.pipeline.executor`); the result is identical.  The
         loose ``workers=`` kwarg is deprecated.
+
+        ``header_base`` switches generated fallback headers to *block
+        mode*: reads are named sequentially from that offset in final
+        (order-restored) positions, so block *i* continues the global
+        numbering without a second renaming pass.  ``None`` (default)
+        keeps the flat-archive naming; archives storing real headers
+        ignore it either way.
         """
         from ..api.options import resolve_stream_options
         options = resolve_stream_options(
@@ -91,8 +109,10 @@ class SAGeDecompressor:
             caller="SAGeDecompressor.decompress")
         if self.archive.is_blocked:
             return self._decompress_blocked(options)
-        codes = list(self.iter_read_codes())
-        qualities: list[np.ndarray | None] = [None] * len(codes)
+        codes = resolve_kernel(self._effective_codec(options)) \
+            .decode_reads(self)
+        n_reads = len(codes)
+        qualities: list[np.ndarray | None] = [None] * n_reads
         if self.archive.quality is not None:
             scores = quality_codec.decompress(self.archive.quality)
             offset = 0
@@ -105,43 +125,80 @@ class SAGeDecompressor:
                     f"quality stream has {scores.size} scores, reads "
                     f"need {offset}")
         name = self.archive.name or "sage"
+        header_list = None
         if self.archive.headers_blob is not None:
             header_list = headers_codec.decompress_headers(
                 self.archive.headers_blob)
-            if len(header_list) != len(codes):
+            if len(header_list) != n_reads:
                 raise DecompressionError(
-                    f"{len(header_list)} headers for {len(codes)} reads")
+                    f"{len(header_list)} headers for {n_reads} reads")
+        emit_order = self._emission_order(n_reads) \
+            if self.archive.preserve_order else None
+        indices = emit_order if emit_order is not None else range(n_reads)
+        if header_list is not None:
+            reads = [Read(codes=codes[j], quality=qualities[j],
+                          header=header_list[j]) for j in indices]
+        elif header_base is not None:
+            reads = [Read(codes=codes[j], quality=qualities[j],
+                          header=f"{name}.{header_base + position}")
+                     for position, j in enumerate(indices)]
         else:
-            header_list = [f"{name}.{i}" for i in range(len(codes))]
-        reads = [Read(codes=c, quality=q, header=h)
-                 for c, q, h in zip(codes, qualities, header_list)]
-        if self.archive.preserve_order:
-            reads = self._restore_order(reads)
+            reads = [Read(codes=codes[j], quality=qualities[j],
+                          header=f"{name}.{j}") for j in indices]
         return ReadSet(reads, name=name)
+
+    def _emission_order(self, n: int) -> list[int]:
+        """``result[p]`` = emission index of the read at final slot ``p``.
+
+        Inverts the matching-position reordering recorded in the
+        ``order`` stream (extension).
+        """
+        payload, bits = self.archive.streams["order"]
+        reader = BitReader(payload, bits, name="order")
+        w_reads = max(1, (n - 1).bit_length()) if n else 1
+        slots: list[int | None] = [None] * n
+        for j in range(n):
+            original = reader.read(w_reads)
+            if original >= n or slots[original] is not None:
+                raise DecompressionError(
+                    "order stream is not a permutation")
+            slots[original] = j
+        return slots
 
     # ------------------------------------------------------------------
     # Blocked (v3) archives: partial and streaming decompression
     # ------------------------------------------------------------------
 
-    def decompress_block(self, index: int) -> ReadSet:
+    def _effective_codec(self, options) -> str:
+        """The codec an options object selects for this decoder."""
+        if options is not None:
+            selected = getattr(options, "codec", "auto")
+            if selected != "auto":
+                return selected
+        return self.codec
+
+    def decompress_block(self, index: int, *,
+                         codec: str | None = None) -> ReadSet:
         """Decode only block ``index`` of the archive.
 
         Random access: the block view shares the consensus stream but
         reads no other block's streams, mirroring the per-channel
         independent decode of §5.3.  On a flat archive only block 0
-        exists and equals the whole read set.
+        exists and equals the whole read set.  ``codec`` overrides the
+        decoder's session kernel for this block.
         """
         arch = self.archive
         view = arch.block_view(index)
-        decoded = SAGeDecompressor(view,
-                                   consensus=self.consensus).decompress()
+        base: int | None = None       # None = flat-archive naming
         if arch.is_blocked and view.headers_blob is None:
             # The offset is known from the index alone; no other block
-            # is decoded.
+            # is decoded, and the fallback headers come out globally
+            # numbered in one pass.
             base = sum(entry.n_reads
                        for entry in arch.block_index()[:index])
-            decoded = renumber_fallback_headers(decoded, base, arch.name)
-        return decoded
+        return SAGeDecompressor(view, consensus=self.consensus,
+                                codec=codec or self.codec) \
+            .decompress(header_base=base)
 
     def iter_block_read_sets(self, workers: int | None = None, *,
                              backend: str | None = None,
@@ -162,14 +219,15 @@ class SAGeDecompressor:
             options, workers=workers, backend=backend, prefetch=prefetch,
             caller="SAGeDecompressor.iter_block_read_sets")
         if options.workers == 1 and options.backend in ("auto", "serial"):
-            return self._iter_blocks_serial()
+            return self._iter_blocks_serial(self._effective_codec(options))
         from ..api.dataset import SAGeDataset
         return SAGeDataset(self.archive, options=options,
                            decompressor=self).blocks()
 
-    def _iter_blocks_serial(self) -> Iterator[ReadSet]:
+    def _iter_blocks_serial(self, codec: str | None = None
+                            ) -> Iterator[ReadSet]:
         for index in range(self.archive.n_blocks):
-            yield self.decompress_block(index)
+            yield self.decompress_block(index, codec=codec)
 
     def _decompress_blocked(self, options) -> ReadSet:
         reads: list[Read] = []
@@ -177,23 +235,13 @@ class SAGeDecompressor:
             reads.extend(block_set)
         return ReadSet(reads, name=self.archive.name or "sage")
 
-    def _restore_order(self, reads: list[Read]) -> list[Read]:
-        """Invert the matching-position reordering (extension)."""
-        payload, bits = self.archive.streams["order"]
-        reader = BitReader(payload, bits)
-        n = len(reads)
-        w_reads = max(1, (n - 1).bit_length()) if n else 1
-        restored: list[Read | None] = [None] * n
-        for read in reads:
-            original = reader.read(w_reads)
-            restored[original] = read
-        if any(r is None for r in restored):
-            raise DecompressionError("order stream is not a permutation")
-        return restored
-
     def make_readers(self) -> dict[str, BitReader]:
-        """Fresh sequential readers over the archive's streams."""
-        return {nm: BitReader(payload, bits)
+        """Fresh sequential readers over the archive's streams.
+
+        Readers carry their stream name, so a malformed archive fails
+        with the offending stream and bit offset in the message.
+        """
+        return {nm: BitReader(payload, bits, name=nm)
                 for nm, (payload, bits) in self.archive.streams.items()}
 
     def iter_read_codes(

@@ -1,0 +1,1053 @@
+"""Vectorized codec kernel layer: batched encode/decode strategies.
+
+The Scan/Locate unit model (§5.1–5.2) was designed around wide,
+predictable field layouts, yet the reference software path walks them
+one field at a time through :class:`~repro.core.bitio.BitReader` /
+:class:`~repro.core.bitio.BitWriter` calls.  This module restructures
+the hot path into batch-friendly kernels, following the co-design
+argument of the paper: the format stays *bit-identical*, only the
+software schedule changes.
+
+Two kernels are registered:
+
+``python``
+    The reference bit-serial path: per-field :class:`BitWriter` writes
+    and the sequential :meth:`SAGeDecompressor.iter_read_codes` walk.
+
+``numpy``
+    The vectorized path.  Encode gathers every stream's fields into
+    structure-of-arrays token runs (:class:`TokenWriter`) and packs them
+    with one batched :func:`pack_fields` pass per stream.  Decode runs a
+    vectorized unary-prefix scan over the matching-position guide array
+    (``np.unpackbits`` + zero-run detection) to classify every entry at
+    once, gathers the variable-width position fields in one pass
+    (:func:`gather_fields`), walks the remaining interleaved streams
+    with O(1)-per-field :class:`FastReader` primitives, and
+    reconstructs all substitution-only reads with a single consensus
+    gather + mismatch scatter.
+
+Both kernels produce **byte-identical archives** and identical decoded
+reads for every configuration — asserted both directions in
+``tests/test_core_kernels.py`` — so the codec is a pure-speed knob
+(:class:`repro.api.EngineOptions` ``codec``, CLI ``--codec``, env
+``SAGE_CODEC``).
+
+Adding a kernel: subclass :class:`CodecKernel`, implement
+``new_writer`` (a ``BitWriter``-compatible sink per stream) and
+``decode_reads`` (archive → per-read base-code arrays in emission
+order), then :func:`register_kernel` it.  The byte-identity contract is
+what keeps kernels freely interchangeable mid-pipeline.
+"""
+
+from __future__ import annotations
+
+import os
+
+import numpy as np
+
+from .bitio import BitIOError, BitWriter
+from .formats import unpack_bits
+from .mismatch import INDEL_INS, TYPE_DEL, TYPE_INS, TYPE_SUB
+
+__all__ = ["CodecKernel", "DEFAULT_CODEC", "FastReader", "NumpyKernel",
+           "PythonKernel", "TokenWriter", "available_kernels",
+           "gather_fields", "get_kernel", "pack_fields",
+           "register_kernel", "resolve_codec", "resolve_kernel"]
+
+#: Codec used when neither the options nor ``SAGE_CODEC`` select one.
+DEFAULT_CODEC = "numpy"
+
+_EMPTY_U8 = np.empty(0, dtype=np.uint8)
+
+
+# ----------------------------------------------------------------------
+# Batched bit packing / gathering primitives
+# ----------------------------------------------------------------------
+
+
+def pack_fields(values, widths) -> tuple[bytes, int]:
+    """Pack MSB-first variable-width fields in one vectorized pass.
+
+    ``values[i]`` is emitted as a ``widths[i]``-bit big-endian field;
+    the result is byte-identical to writing the same sequence through a
+    :class:`BitWriter` (including zero padding of the final byte).
+    Returns ``(payload, total_bits)``.
+    """
+    widths = np.asarray(widths, dtype=np.int64)
+    values = np.asarray(values, dtype=np.uint64)
+    total = int(widths.sum())
+    if total == 0:
+        return b"", 0
+    offsets = np.cumsum(widths) - widths
+    vidx = np.repeat(np.arange(values.size), widths)
+    local = np.arange(total, dtype=np.int64) - np.repeat(offsets, widths)
+    shift = (widths[vidx] - 1 - local).astype(np.uint64)
+    bits = ((values[vidx] >> shift) & np.uint64(1)).astype(np.uint8)
+    return np.packbits(bits).tobytes(), total
+
+
+def gather_fields(stream: tuple[bytes, int], offsets, widths, *,
+                  name: str = "") -> np.ndarray:
+    """Extract many big-endian fields from one stream in one pass.
+
+    ``stream`` is a ``(payload, bit_length)`` pair; ``offsets[i]`` /
+    ``widths[i]`` locate each field in bits.  Every field is read
+    through a 64-bit window gathered per offset, so the whole batch
+    costs a handful of vectorized passes.  Fields must be at most 63
+    bits wide (the format's :data:`~repro.core.prefix_codes.MAX_WIDTH`).
+    """
+    payload, bit_length = stream
+    offsets = np.asarray(offsets, dtype=np.int64)
+    widths = np.asarray(widths, dtype=np.int64)
+    if offsets.size == 0:
+        return np.empty(0, dtype=np.int64)
+    if int((offsets + widths).max()) > bit_length:
+        raise BitIOError(
+            f"{name or 'bit stream'}: field gather past end "
+            f"(stream is {bit_length} bits)")
+    data = np.frombuffer(payload, dtype=np.uint8)
+    ext = np.concatenate([data, np.zeros(9, dtype=np.uint8)])
+    byte = offsets >> 3
+    window = np.zeros(offsets.size, dtype=np.uint64)
+    for k in range(8):
+        window = (window << np.uint64(8)) | ext[byte + k]
+    off = (offsets & 7).astype(np.uint64)
+    w = widths.astype(np.uint64)
+    shifted = window << off                      # drops the leading bits
+    vals = shifted >> (np.uint64(64) - np.maximum(w, np.uint64(1)))
+    need = off + w
+    over = need > np.uint64(64)
+    if over.any():
+        extra = ext[byte[over] + 8].astype(np.uint64)
+        vals[over] |= extra >> (np.uint64(72) - need[over])
+    return np.where(w > 0, vals, np.uint64(0)).astype(np.int64)
+
+
+def _build_windows(data: np.ndarray) -> tuple[np.ndarray, np.ndarray]:
+    """``(w64, ext)`` window view of a byte stream.
+
+    ``w64[i]`` is the 64-bit big-endian window starting at byte ``i``;
+    ``ext`` is the stream zero-padded by 9 bytes so window reads (and
+    the 9th-byte spill of >56-bit spans) never index out of bounds.
+    Shared by :class:`FastReader` and the skeleton-walk stream views.
+    """
+    ext = np.concatenate([data, np.zeros(9, dtype=np.uint8)])
+    window = np.zeros(len(data) + 1, dtype=np.uint64)
+    for k in range(8):
+        window = (window << np.uint64(8)) | ext[k:k + len(window)]
+    return window, ext
+
+
+def _build_next_zero(data: np.ndarray, limit: int) -> np.ndarray:
+    """Per-bit next-zero index (the vectorized unary-prefix scan).
+
+    One ``np.unpackbits`` pass plus a reversed minimum-accumulate turns
+    every subsequent unary read into a single lookup; positions whose
+    run never terminates map to ``limit``.
+    """
+    bits = np.unpackbits(data)[:limit]
+    idx = np.arange(limit, dtype=np.int64)
+    nz = np.where(bits == 0, idx, np.int64(limit))
+    return np.minimum.accumulate(nz[::-1])[::-1]
+
+
+# ----------------------------------------------------------------------
+# TokenWriter: the numpy kernel's structure-of-arrays stream sink
+# ----------------------------------------------------------------------
+
+
+class TokenWriter:
+    """A ``BitWriter``-compatible sink that packs fields in batches.
+
+    Instead of bit-twiddling per call, every write appends a
+    ``(value, width)`` token to structure-of-arrays lists;
+    :meth:`getvalue` renders the whole stream with one vectorized
+    :func:`pack_fields` pass per run.  Byte-aligned :meth:`write_bytes`
+    payloads pass through untouched.  The produced bytes (and
+    :attr:`bit_length`) are identical to a :class:`BitWriter` fed the
+    same call sequence.
+    """
+
+    __slots__ = ("name", "_parts", "_values", "_widths", "_total_bits")
+
+    def __init__(self, name: str = "") -> None:
+        self.name = name
+        self._parts: list[tuple] = []    # ("t", values, widths) | ("b", data)
+        self._values: list[int] = []
+        self._widths: list[int] = []
+        self._total_bits = 0
+
+    def __len__(self) -> int:
+        return self._total_bits
+
+    @property
+    def bit_length(self) -> int:
+        """Number of bits written so far."""
+        return self._total_bits
+
+    def write(self, value: int, nbits: int) -> None:
+        """Append ``value`` as an ``nbits``-wide big-endian field."""
+        if nbits < 0:
+            raise BitIOError("field width must be non-negative")
+        if nbits == 0:
+            return
+        if value < 0 or value >> nbits:
+            raise BitIOError(f"value {value} does not fit in {nbits} bits")
+        if nbits > 64:
+            # Wider than one packing word: split MSB-first into chunks.
+            rem = nbits
+            while rem > 32:
+                rem -= 32
+                self._values.append((value >> rem) & 0xFFFFFFFF)
+                self._widths.append(32)
+            self._values.append(value & ((1 << rem) - 1))
+            self._widths.append(rem)
+        else:
+            self._values.append(value)
+            self._widths.append(nbits)
+        self._total_bits += nbits
+
+    def write_bit(self, bit: int) -> None:
+        """Append a single bit (0 or 1)."""
+        self.write(1 if bit else 0, 1)
+
+    def write_unary(self, value: int) -> None:
+        """Append ``value`` ones and a terminating zero as one token."""
+        if value < 0:
+            raise BitIOError("unary value must be non-negative")
+        while value > 56:
+            self._values.append((1 << 32) - 1)
+            self._widths.append(32)
+            self._total_bits += 32
+            value -= 32
+        self._values.append(((1 << value) - 1) << 1)
+        self._widths.append(value + 1)
+        self._total_bits += value + 1
+
+    def write_run(self, values, nbits: int) -> None:
+        """Bulk-append every value as an ``nbits``-wide field."""
+        if nbits < 0:
+            raise BitIOError("field width must be non-negative")
+        if nbits == 0:
+            return
+        if hasattr(values, "tolist"):
+            values = values.tolist()
+        else:
+            values = list(values)
+        if nbits > 64:
+            for value in values:
+                self.write(value, nbits)
+            return
+        for value in values:
+            if value < 0 or value >> nbits:
+                raise BitIOError(
+                    f"value {value} does not fit in {nbits} bits")
+        self._values.extend(values)
+        self._widths.extend([nbits] * len(values))
+        self._total_bits += nbits * len(values)
+
+    def write_fields(self, values, widths) -> None:
+        """Bulk-append paired variable-width fields."""
+        if hasattr(values, "tolist"):
+            values = values.tolist()
+        if hasattr(widths, "tolist"):
+            widths = widths.tolist()
+        for value, width in zip(values, widths):
+            self.write(value, width)
+
+    def write_bytes(self, data: bytes) -> None:
+        """Append raw bytes (pass-through when byte-aligned)."""
+        if not data:
+            return
+        if self._total_bits & 7 == 0:
+            if self._values:
+                self._parts.append(("t", self._values, self._widths))
+                self._values, self._widths = [], []
+            self._parts.append(("b", bytes(data)))
+            self._total_bits += 8 * len(data)
+        else:
+            arr = np.frombuffer(bytes(data), dtype=np.uint8)
+            self._values.extend(arr.tolist())
+            self._widths.extend([8] * len(data))
+            self._total_bits += 8 * len(data)
+
+    def align_to_byte(self) -> None:
+        """Zero-pad forward to the next byte boundary."""
+        rem = self._total_bits & 7
+        if rem:
+            self.write(0, 8 - rem)
+
+    def getvalue(self) -> bytes:
+        """Render the stream: one vectorized pack per token run."""
+        chunks: list[bytes] = []
+        for part in self._parts:
+            if part[0] == "b":
+                chunks.append(part[1])
+            else:
+                payload, bits = pack_fields(part[1], part[2])
+                # Closed token runs always end byte-aligned (a byte part
+                # only ever starts on a boundary), so runs concatenate
+                # without bit shifting.
+                assert bits & 7 == 0
+                chunks.append(payload)
+        if self._values:
+            chunks.append(pack_fields(self._values, self._widths)[0])
+        return b"".join(chunks)
+
+
+# ----------------------------------------------------------------------
+# FastReader: O(1)-per-field sequential reads over precomputed views
+# ----------------------------------------------------------------------
+
+
+class FastReader:
+    """Sequential MSB-first reader with O(1) field and unary reads.
+
+    A ``BitReader``-compatible reader that precomputes a 64-bit window
+    per byte offset (field extraction becomes one shift/mask) and — on
+    first use — a next-zero index over the unpacked bit array, turning
+    :meth:`read_unary` from a bit-at-a-time loop into a single lookup.
+    This is the software analog of the Scan Unit's shift registers fed
+    at full width.
+    """
+
+    __slots__ = ("name", "_data", "_ext", "_w64", "_next_zero", "_limit",
+                 "_pos")
+
+    def __init__(self, payload: bytes, bit_length: int | None = None, *,
+                 name: str = "") -> None:
+        self.name = name
+        data = np.frombuffer(payload, dtype=np.uint8)
+        self._data = data
+        self._limit = 8 * len(payload) if bit_length is None else bit_length
+        if self._limit > 8 * len(payload):
+            raise BitIOError(
+                f"{name or 'bit stream'}: bit_length {self._limit} "
+                f"exceeds the {8 * len(payload)}-bit buffer")
+        window, ext = _build_windows(data)
+        self._ext = ext
+        self._w64 = window.tolist()
+        self._next_zero: np.ndarray | None = None
+        self._pos = 0
+
+    def _past_end(self, nbits: int) -> BitIOError:
+        return BitIOError(
+            f"{self.name or 'bit stream'}: read of {nbits} bits past end "
+            f"at bit {self._pos} (stream is {self._limit} bits)")
+
+    @property
+    def position(self) -> int:
+        """Current bit offset from the start of the stream."""
+        return self._pos
+
+    @property
+    def remaining(self) -> int:
+        """Bits left before the end of the stream."""
+        return self._limit - self._pos
+
+    def read(self, nbits: int) -> int:
+        """Read an ``nbits``-wide big-endian field (one window lookup)."""
+        if nbits < 0:
+            raise BitIOError("field width must be non-negative")
+        if nbits == 0:
+            return 0
+        pos = self._pos
+        if pos + nbits > self._limit:
+            raise self._past_end(nbits)
+        if nbits > 64:
+            value = 0
+            need = nbits
+            while need:
+                take = min(56, need)
+                value = (value << take) | self.read(take)
+                need -= take
+            return value
+        off = pos & 7
+        span = off + nbits
+        word = self._w64[pos >> 3]
+        if span <= 64:
+            value = (word >> (64 - span)) & ((1 << nbits) - 1)
+        else:
+            word = (word << 8) | int(self._ext[(pos >> 3) + 8])
+            value = (word >> (72 - span)) & ((1 << nbits) - 1)
+        self._pos = pos + nbits
+        return value
+
+    def read_bit(self) -> int:
+        """Read a single bit."""
+        return self.read(1)
+
+    def read_unary(self) -> int:
+        """Read a unary value with one next-zero lookup."""
+        pos = self._pos
+        if pos >= self._limit:
+            raise self._past_end(1)
+        nz = self._next_zero
+        if nz is None:
+            nz = self._build_next_zero()
+        q = int(nz[pos])
+        if q >= self._limit:
+            # All ones to the end: the terminating zero is missing.
+            self._pos = self._limit
+            raise self._past_end(1)
+        self._pos = q + 1
+        return q - pos
+
+    def _build_next_zero(self) -> np.ndarray:
+        nz = _build_next_zero(self._data, self._limit)
+        self._next_zero = nz
+        return nz
+
+    def read_bytes(self, count: int) -> bytes:
+        """Read ``count`` raw bytes (vectorized when unaligned)."""
+        pos = self._pos
+        if pos + 8 * count > self._limit:
+            raise self._past_end(8 * count)
+        if count == 0:
+            return b""
+        start = pos >> 3
+        off = pos & 7
+        self._pos = pos + 8 * count
+        if off == 0:
+            return self._data[start:start + count].tobytes()
+        hi = self._ext[start:start + count].astype(np.uint16)
+        lo = self._ext[start + 1:start + count + 1]
+        out = ((hi << off) | (lo >> (8 - off))) & 0xFF
+        return out.astype(np.uint8).tobytes()
+
+    def align_to_byte(self) -> None:
+        """Skip forward to the next byte boundary."""
+        rem = self._pos & 7
+        if rem:
+            self.read(8 - rem)
+
+
+# ----------------------------------------------------------------------
+# Batched decode (numpy kernel)
+# ----------------------------------------------------------------------
+
+
+def _read_corner_payload(corner: FastReader, w_rlen: int):
+    """Replicates ``SAGeDecompressor._read_corner_payload``."""
+    has_n = corner.read(1)
+    has_clip = corner.read(1)
+    n_runs: list[tuple[int, int]] = []
+    clip_s = clip_e = _EMPTY_U8
+    if has_n:
+        for _ in range(corner.read(8)):
+            pos = corner.read(w_rlen)
+            run = corner.read(8)
+            n_runs.append((pos, run))
+    if has_clip:
+        len_s = corner.read(w_rlen)
+        len_e = corner.read(w_rlen)
+        total = len_s + len_e
+        payload = corner.read_bytes((3 * total + 7) // 8)
+        clip = unpack_bits(payload, 3, total)
+        clip_s, clip_e = clip[:len_s], clip[len_s:]
+    return n_runs, clip_s, clip_e
+
+
+def _matching_positions(arch, n_mapped: int) -> np.ndarray:
+    """All matching positions in one pass over the mpga/mpa streams.
+
+    With reordering, the guide array is a pure run of unary class codes:
+    one ``np.unpackbits`` scan classifies every read's delta at once and
+    the variable-width deltas are gathered in a single pass.
+    """
+    if not arch.level.reorder:
+        w_cons = arch.w_cons
+        offsets = np.arange(n_mapped, dtype=np.int64) * w_cons
+        widths = np.full(n_mapped, w_cons, dtype=np.int64)
+        return gather_fields(arch.streams["mpa"], offsets, widths,
+                             name="mpa")
+    table = arch.tables["mp"]
+    payload, bits = arch.streams["mpga"]
+    bitarr = np.unpackbits(np.frombuffer(payload, dtype=np.uint8))[:bits]
+    zeros = np.nonzero(bitarr == 0)[0]
+    if zeros.size < n_mapped:
+        raise BitIOError(
+            f"mpga: unary scan past end (stream is {bits} bits, "
+            f"{zeros.size} codes for {n_mapped} reads)")
+    z = zeros[:n_mapped].astype(np.int64)
+    class_idx = np.diff(z, prepend=np.int64(-1)) - 1
+    n_classes = len(table.widths)
+    if (class_idx >= n_classes).any():
+        bad = int(class_idx[class_idx >= n_classes][0])
+        raise ValueError(f"guide stream names class {bad}, "
+                         f"but table has {n_classes}")
+    widths = table.widths_np[class_idx]
+    offsets = np.cumsum(widths) - widths
+    deltas = gather_fields(arch.streams["mpa"], offsets, widths,
+                           name="mpa")
+    return np.cumsum(deltas)
+
+
+def _stream_words(arch, name: str):
+    """``(w64, bit_length)`` window view of one stream.
+
+    The windows come back as plain Python ints, so any field of up to
+    56 bits is one list lookup plus a shift/mask — the innermost
+    primitive of the skeleton walk, with no per-call method dispatch.
+    """
+    payload, bits = arch.streams[name]
+    window, _ext = _build_windows(np.frombuffer(payload, dtype=np.uint8))
+    return window.tolist(), bits
+
+
+def _next_zero_list(arch, name: str, limit: int) -> list[int]:
+    """:func:`_build_next_zero` of one stream, as a plain-int list."""
+    payload, _bits = arch.streams[name]
+    data = np.frombuffer(payload, dtype=np.uint8)
+    return _build_next_zero(data, limit).tolist()
+
+
+def _past(name: str, nbits: int, pos: int, limit: int) -> BitIOError:
+    return BitIOError(
+        f"{name}: read of {nbits} bits past end at bit {pos} "
+        f"(stream is {limit} bits)")
+
+
+def _bad_class(idx: int, n_classes: int) -> ValueError:
+    return ValueError(f"guide stream names class {idx}, "
+                      f"but table has {n_classes}")
+
+
+def _decode_reads_batched(dec) -> list[np.ndarray]:
+    """Decode every read of a flat archive through the numpy kernel.
+
+    Same contract (and emission order) as
+    ``list(SAGeDecompressor.iter_read_codes())``, restructured into
+    structure-of-arrays passes:
+
+    1. one vectorized unary-prefix scan + field gather classifies every
+       matching position (:func:`_matching_positions`) and read length;
+    2. a skeleton walk over the interleaved mmpga/mmpa/mbta streams
+       records mismatch events without reconstructing — every field is
+       an O(1) window lookup on precomputed ``w64``/next-zero views;
+    3. all substitution-only reads are rebuilt with a single consensus
+       gather + mismatch scatter (+ one batched complement pass);
+       indel/chimeric/corner reads take a per-read scalar fallback.
+    """
+    from ..genomics import sequence as seq
+    from .compressor import INDEL_LENGTH_BITS, RAW_COUNT_BITS
+    from .decompressor import DecompressionError
+
+    arch = dec.archive
+    if arch.is_blocked:
+        raise DecompressionError(
+            "blocked archive: decode per block via decompress_block()"
+            " / iter_block_read_sets()")
+    level = arch.level
+    tuned = level.tuned_mismatch
+    if tuned:
+        count_widths = arch.tables["count"].widths
+        mmp_widths = arch.tables["mmp"].widths
+    else:
+        count_widths = mmp_widths = ()
+    indel_table = arch.tables.get("indel")
+    indel_widths = indel_table.widths if indel_table is not None else ()
+    w_rlen = arch.w_rlen
+    w_cons = arch.w_cons
+    if max((w_rlen, *count_widths, *mmp_widths, *indel_widths)) > 56:
+        # Adversarially wide field classes would overflow the single
+        # 64-bit window; such tables never occur in practice — stay on
+        # the reference walk rather than complicate the hot loop.
+        return list(dec.iter_read_codes())
+
+    cons = dec.consensus
+    cons_size = int(cons.size)
+    n_mapped = arch.n_mapped
+    out_codes: list = [None] * (n_mapped + arch.n_unmapped)
+
+    # --- pass 1a: per-read lengths (dedicated stream) ---
+    if arch.fixed_length:
+        lengths = None
+    else:
+        table = arch.tables["len"]
+        widths = table.widths
+        n_classes = len(widths)
+        lr = FastReader(*arch.streams["lengths"], name="lengths")
+        lengths = [0] * n_mapped
+        for i in range(n_mapped):
+            idx = lr.read_unary()
+            if idx >= n_classes:
+                raise _bad_class(idx, n_classes)
+            lengths[i] = lr.read(widths[idx])
+
+    # --- pass 1b: vectorized matching positions ---
+    fc_arr = _matching_positions(arch, n_mapped) if n_mapped \
+        else np.empty(0, dtype=np.int64)
+    first_cons = fc_arr.tolist()
+
+    # --- pass 2: skeleton walk (classify entries, no reconstruction) ---
+    b_w64, b_lim = _stream_words(arch, "mbta")
+    g_w64, g_lim = _stream_words(arch, "mmpga")
+    a_w64, a_lim = _stream_words(arch, "mmpa")
+    g_nz = _next_zero_list(arch, "mmpga", g_lim)
+    b_pos = g_pos = a_pos = 0
+
+    corner = FastReader(*arch.streams["corner"], name="corner")
+    side = FastReader(*arch.streams["side"], name="side") \
+        if (level.chimeric and arch.long_reads) else None
+    type_inf = level.type_inference
+    indel_blocks = level.indel_blocks
+    corner_marker = level.corner_marker
+    raw_bits = RAW_COUNT_BITS
+    raw_mask = (1 << RAW_COUNT_BITS) - 1
+    indel_len_mask = (1 << INDEL_LENGTH_BITS) - 1
+    n_count = len(count_widths)
+    n_mmp = len(mmp_widths)
+    n_indel = len(indel_widths)
+    count_masks = tuple((1 << w) - 1 for w in count_widths)
+    mmp_masks = tuple((1 << w) - 1 for w in mmp_widths)
+    indel_masks = tuple((1 << w) - 1 for w in indel_widths)
+    w_rlen_mask = (1 << w_rlen) - 1
+    fixed_len = arch.fixed_read_length
+
+    simple_idx: list[int] = []        # read index per simple row
+    simple_rev: list[int] = []        # parallel: reverse flag per row
+    sub_row: list[int] = []           # scatter coordinates (simple rows)
+    sub_pos: list[int] = []
+    sub_base: list[int] = []
+    complex_recs: list[tuple] = []
+
+    for i in range(n_mapped):
+        length = fixed_len if lengths is None else lengths[i]
+        if b_pos >= b_lim:
+            raise _past("mbta", 1, b_pos, b_lim)
+        reverse = (b_w64[b_pos >> 3] >> (63 - (b_pos & 7))) & 1
+        b_pos += 1
+        fc = first_cons[i]
+        segments = None                   # None => single segment at fc
+        if side is not None and side.read(1):
+            segments = [(0, fc)]
+            for _ in range(side.read(2)):
+                core_start = side.read(w_rlen)
+                cons_start = side.read(w_cons)
+                segments.append((core_start, cons_start))
+
+        # mismatch count
+        if tuned:
+            if g_pos >= g_lim:
+                raise _past("mmpga", 1, g_pos, g_lim)
+            z = g_nz[g_pos]
+            if z >= g_lim:
+                raise _past("mmpga", 1, g_lim, g_lim)
+            cidx = z - g_pos
+            if cidx >= n_count:
+                raise _bad_class(cidx, n_count)
+            g_pos = z + 1
+            w = count_widths[cidx]
+            if g_pos + w > g_lim:
+                raise _past("mmpga", w, g_pos, g_lim)
+            count = (g_w64[g_pos >> 3] >> (64 - (g_pos & 7) - w)) \
+                & count_masks[cidx]
+            g_pos += w
+        else:
+            if g_pos + raw_bits > g_lim:
+                raise _past("mmpga", raw_bits, g_pos, g_lim)
+            count = (g_w64[g_pos >> 3]
+                     >> (64 - (g_pos & 7) - raw_bits)) & raw_mask
+            g_pos += raw_bits
+
+        # corner-case info (must precede reconstruction)
+        n_runs: list[tuple[int, int]] | None = None
+        clip_s = clip_e = _EMPTY_U8
+        clip_n = 0
+        remaining = count
+        pending = 0
+        have_pending = False
+        if not corner_marker:
+            has_n = corner.read(1)
+            has_clip = corner.read(1)
+            if has_n or has_clip:
+                n_runs, clip_s, clip_e = _read_corner_payload(corner,
+                                                              w_rlen)
+                clip_n = int(clip_s.size) + int(clip_e.size)
+        elif count > 0:
+            if tuned:
+                if g_pos >= g_lim:
+                    raise _past("mmpga", 1, g_pos, g_lim)
+                z = g_nz[g_pos]
+                if z >= g_lim:
+                    raise _past("mmpga", 1, g_lim, g_lim)
+                pidx = z - g_pos
+                if pidx >= n_mmp:
+                    raise _bad_class(pidx, n_mmp)
+                g_pos = z + 1
+                w = mmp_widths[pidx]
+                if a_pos + w > a_lim:
+                    raise _past("mmpa", w, a_pos, a_lim)
+                pos0 = (a_w64[a_pos >> 3] >> (64 - (a_pos & 7) - w)) \
+                    & mmp_masks[pidx]
+                a_pos += w
+            else:
+                if a_pos + w_rlen > a_lim:
+                    raise _past("mmpa", w_rlen, a_pos, a_lim)
+                pos0 = (a_w64[a_pos >> 3]
+                        >> (64 - (a_pos & 7) - w_rlen)) & w_rlen_mask
+                a_pos += w_rlen
+            remaining -= 1
+            if pos0 == 0:
+                if b_pos >= b_lim:
+                    raise _past("mbta", 1, b_pos, b_lim)
+                flag = (b_w64[b_pos >> 3] >> (63 - (b_pos & 7))) & 1
+                b_pos += 1
+                if flag:
+                    # Pseudo-mismatch: this read is a corner case.
+                    n_runs, clip_s, clip_e = _read_corner_payload(
+                        corner, w_rlen)
+                    clip_n = int(clip_s.size) + int(clip_e.size)
+                else:
+                    have_pending = True
+            else:
+                pending = pos0
+                have_pending = True
+
+        core_len = length - clip_n
+        multi = segments is not None and len(segments) > 1
+        events: list[tuple] | None = [] \
+            if (n_runs or clip_n or multi) else None
+        row = len(simple_idx)         # candidate simple row for this read
+        n_subs = 0                    # optimistically committed subs
+        read_ptr = 0
+        q = fc
+        if multi:
+            nseg = len(segments)
+            bounds = [start for start, _ in segments[1:]]
+            bounds.append(core_len)
+            seg_idx = 0
+            seg_end = bounds[0]
+        prev_pos = 0
+        while remaining > 0 or have_pending:
+            if have_pending:
+                pos = pending
+                have_pending = False
+            else:
+                if tuned:
+                    if g_pos >= g_lim:
+                        raise _past("mmpga", 1, g_pos, g_lim)
+                    z = g_nz[g_pos]
+                    if z >= g_lim:
+                        raise _past("mmpga", 1, g_lim, g_lim)
+                    pidx = z - g_pos
+                    if pidx >= n_mmp:
+                        raise _bad_class(pidx, n_mmp)
+                    g_pos = z + 1
+                    w = mmp_widths[pidx]
+                    if a_pos + w > a_lim:
+                        raise _past("mmpa", w, a_pos, a_lim)
+                    pos = prev_pos \
+                        + ((a_w64[a_pos >> 3]
+                            >> (64 - (a_pos & 7) - w)) & mmp_masks[pidx])
+                    a_pos += w
+                else:
+                    if a_pos + w_rlen > a_lim:
+                        raise _past("mmpa", w_rlen, a_pos, a_lim)
+                    pos = (a_w64[a_pos >> 3]
+                           >> (64 - (a_pos & 7) - w_rlen)) & w_rlen_mask
+                    a_pos += w_rlen
+                remaining -= 1
+            prev_pos = pos
+            if multi:
+                while pos >= seg_end and seg_idx < nseg - 1:
+                    q += seg_end - read_ptr
+                    read_ptr = seg_end
+                    seg_idx += 1
+                    q = segments[seg_idx][1]
+                    seg_end = bounds[seg_idx]
+            q += pos - read_ptr
+            read_ptr = pos
+
+            # entry body
+            if b_pos + 2 > b_lim:
+                raise _past("mbta", 2, b_pos, b_lim)
+            code = (b_w64[b_pos >> 3] >> (62 - (b_pos & 7))) & 3
+            b_pos += 2
+            if type_inf:
+                is_sub = code != (int(cons[q]) if q < cons_size else 0)
+                base = code
+            else:
+                is_sub = code == TYPE_SUB
+                if is_sub:
+                    if b_pos + 2 > b_lim:
+                        raise _past("mbta", 2, b_pos, b_lim)
+                    base = (b_w64[b_pos >> 3] >> (62 - (b_pos & 7))) & 3
+                    b_pos += 2
+                elif code != TYPE_INS and code != TYPE_DEL:
+                    raise DecompressionError(
+                        f"invalid mismatch type {code}")
+            if is_sub:
+                if events is not None:
+                    events.append((pos, 0, 1, base))
+                else:
+                    # Optimistically commit to the batched scatter; an
+                    # indel later in this read rolls these back.
+                    sub_row.append(row)
+                    sub_pos.append(pos)
+                    sub_base.append(base)
+                    n_subs += 1
+                read_ptr += 1
+                q += 1
+                continue
+
+            # indel: promote the read to the scalar reconstruction path
+            if type_inf:
+                if b_pos >= b_lim:
+                    raise _past("mbta", 1, b_pos, b_lim)
+                flag = (b_w64[b_pos >> 3] >> (63 - (b_pos & 7))) & 1
+                b_pos += 1
+                is_ins = flag == INDEL_INS
+            else:
+                is_ins = code == TYPE_INS
+            if events is None:
+                events = [(sub_pos[k], 0, 1, sub_base[k])
+                          for k in range(len(sub_pos) - n_subs,
+                                         len(sub_pos))]
+                if n_subs:
+                    del sub_row[-n_subs:]
+                    del sub_pos[-n_subs:]
+                    del sub_base[-n_subs:]
+                    n_subs = 0
+            # block length
+            if not indel_blocks:
+                blk = 1
+            elif n_indel:
+                if g_pos >= g_lim:
+                    raise _past("mmpga", 1, g_pos, g_lim)
+                z = g_nz[g_pos]
+                if z >= g_lim:
+                    raise _past("mmpga", 1, g_lim, g_lim)
+                bidx = z - g_pos
+                if bidx >= n_indel:
+                    raise _bad_class(bidx, n_indel)
+                g_pos = z + 1
+                w = indel_widths[bidx]
+                if a_pos + w > a_lim:
+                    raise _past("mmpa", w, a_pos, a_lim)
+                blk = (a_w64[a_pos >> 3] >> (64 - (a_pos & 7) - w)) \
+                    & indel_masks[bidx]
+                a_pos += w
+            else:
+                if g_pos >= g_lim:
+                    raise _past("mmpga", 1, g_pos, g_lim)
+                one = (g_w64[g_pos >> 3] >> (63 - (g_pos & 7))) & 1
+                g_pos += 1
+                if one:
+                    blk = 1
+                else:
+                    if a_pos + INDEL_LENGTH_BITS > a_lim:
+                        raise _past("mmpa", INDEL_LENGTH_BITS, a_pos,
+                                    a_lim)
+                    blk = (a_w64[a_pos >> 3]
+                           >> (64 - (a_pos & 7) - INDEL_LENGTH_BITS)) \
+                        & indel_len_mask
+                    a_pos += INDEL_LENGTH_BITS
+            if is_ins:
+                if b_pos + 2 * blk > b_lim:
+                    raise _past("mbta", 2 * blk, b_pos, b_lim)
+                bases = []
+                for _ in range(blk):
+                    bases.append(
+                        (b_w64[b_pos >> 3] >> (62 - (b_pos & 7))) & 3)
+                    b_pos += 2
+                events.append((pos, 1, blk, bases))
+                read_ptr += blk
+            else:
+                events.append((pos, 2, blk, None))
+                q += blk
+
+        if events is not None:
+            complex_recs.append((i, length, reverse,
+                                 segments or [(0, fc)], clip_s, clip_e,
+                                 n_runs or (), events, core_len))
+        else:
+            simple_idx.append(i)
+            simple_rev.append(reverse)
+
+    # --- pass 3a: batched reconstruction of substitution-only reads ---
+    if simple_idx:
+        rows_idx = np.array(simple_idx, dtype=np.int64)
+        fcs = fc_arr[rows_idx]
+        if lengths is None:
+            lens = np.full(rows_idx.size, fixed_len, dtype=np.int64)
+        else:
+            lens = np.asarray(lengths, dtype=np.int64)[rows_idx]
+        ends = np.cumsum(lens)
+        offs = ends - lens
+        total = int(ends[-1])
+        rid = np.repeat(np.arange(lens.size), lens)
+        flat_idx = (np.arange(total, dtype=np.int64)
+                    - np.repeat(offs, lens) + fcs[rid])
+        if total and (int(flat_idx.max()) >= cons_size
+                      or int(flat_idx.min()) < 0):
+            raise DecompressionError(
+                "matching position walks outside the consensus")
+        flat = cons[flat_idx]
+        if sub_row:
+            srow = np.array(sub_row, dtype=np.int64)
+            spos = np.array(sub_pos, dtype=np.int64)
+            if (spos >= lens[srow]).any() or (spos < 0).any():
+                raise DecompressionError(
+                    "mismatch position outside its read")
+            flat[offs[srow] + spos] = np.array(sub_base, dtype=np.uint8)
+        comp = seq.COMPLEMENT[flat] if any(simple_rev) else None
+        starts = offs.tolist()
+        stops = ends.tolist()
+        for row, i in enumerate(simple_idx):
+            s, t = starts[row], stops[row]
+            out_codes[i] = comp[s:t][::-1] if simple_rev[row] \
+                else flat[s:t]
+
+    # --- pass 3b: scalar fallback for indel/chimeric/corner reads ---
+    for (i, length, reverse, segments, clip_s, clip_e, n_runs, events,
+         core_len) in complex_recs:
+        out = np.empty(core_len, dtype=np.uint8)
+        bounds = [start for start, _ in segments[1:]]
+        bounds.append(core_len)
+        seg_idx = 0
+        seg_end = bounds[0]
+        read_ptr = 0
+        q = segments[0][1]
+        for pos, kind, blk, payload in events:
+            while pos >= seg_end and seg_idx < len(segments) - 1:
+                gap = seg_end - read_ptr
+                out[read_ptr:seg_end] = cons[q:q + gap]
+                q += gap
+                read_ptr = seg_end
+                seg_idx += 1
+                q = segments[seg_idx][1]
+                seg_end = bounds[seg_idx]
+            gap = pos - read_ptr
+            if gap:
+                out[read_ptr:pos] = cons[q:q + gap]
+                q += gap
+                read_ptr = pos
+            if kind == 0:
+                out[pos] = payload
+                read_ptr += 1
+                q += 1
+            elif kind == 1:
+                out[pos:pos + blk] = payload
+                read_ptr += blk
+            else:
+                q += blk
+        while True:
+            gap = seg_end - read_ptr
+            out[read_ptr:seg_end] = cons[q:q + gap]
+            q += gap
+            read_ptr = seg_end
+            if seg_idx >= len(segments) - 1:
+                break
+            seg_idx += 1
+            q = segments[seg_idx][1]
+            seg_end = bounds[seg_idx]
+        oriented = np.concatenate([clip_s, out, clip_e]).astype(np.uint8)
+        for pos, run in n_runs:
+            oriented[pos:pos + run] = seq.N_CODE
+        if oriented.size != length:
+            raise DecompressionError(
+                f"decoded {oriented.size} bases, expected {length}")
+        out_codes[i] = seq.reverse_complement(oriented) if reverse \
+            else oriented
+
+    # --- unmapped reads (3-bit packed payloads) ---
+    if arch.n_unmapped:
+        unmapped = FastReader(*arch.streams["unmapped"], name="unmapped")
+        for j in range(arch.n_unmapped):
+            length = fixed_len if arch.fixed_length \
+                else unmapped.read(w_rlen)
+            payload = unmapped.read_bytes((3 * length + 7) // 8)
+            out_codes[n_mapped + j] = unpack_bits(payload, 3, length)
+    return out_codes
+
+
+# ----------------------------------------------------------------------
+# Kernel registry
+# ----------------------------------------------------------------------
+
+
+class CodecKernel:
+    """A named encode/decode strategy over the SAGe stream format.
+
+    Kernels must be *byte-identity preserving*: every kernel's writers
+    emit exactly the same stream bytes for the same call sequence, and
+    ``decode_reads`` returns exactly the reference decoder's output.
+    """
+
+    name = "abstract"
+
+    def new_writer(self, stream_name: str = ""):
+        """A fresh ``BitWriter``-compatible sink for one stream."""
+        raise NotImplementedError
+
+    def decode_reads(self, decompressor) -> list[np.ndarray]:
+        """Per-read base-code arrays of a flat archive, emission order."""
+        raise NotImplementedError
+
+
+class PythonKernel(CodecKernel):
+    """The reference bit-serial path (pure-Python field loops)."""
+
+    name = "python"
+
+    def new_writer(self, stream_name: str = "") -> BitWriter:
+        return BitWriter()
+
+    def decode_reads(self, decompressor) -> list[np.ndarray]:
+        return list(decompressor.iter_read_codes())
+
+
+class NumpyKernel(CodecKernel):
+    """The vectorized structure-of-arrays path (see module docstring)."""
+
+    name = "numpy"
+
+    def new_writer(self, stream_name: str = "") -> TokenWriter:
+        return TokenWriter(stream_name)
+
+    def decode_reads(self, decompressor) -> list[np.ndarray]:
+        return _decode_reads_batched(decompressor)
+
+
+_KERNELS: dict[str, CodecKernel] = {}
+
+
+def register_kernel(kernel: CodecKernel) -> CodecKernel:
+    """Add a kernel to the registry (name collisions overwrite)."""
+    _KERNELS[kernel.name] = kernel
+    return kernel
+
+
+def available_kernels() -> tuple[str, ...]:
+    """Registered kernel names, sorted."""
+    return tuple(sorted(_KERNELS))
+
+
+def get_kernel(name: str) -> CodecKernel:
+    """Look up a kernel by exact name."""
+    try:
+        return _KERNELS[name]
+    except KeyError:
+        raise ValueError(f"unknown codec kernel {name!r}; registered: "
+                         f"{available_kernels()}") from None
+
+
+def resolve_codec(spec: str | None) -> str:
+    """Resolve a codec spec (``None``/``"auto"`` → env → default)."""
+    if spec in (None, "auto"):
+        spec = os.environ.get("SAGE_CODEC", DEFAULT_CODEC)
+    if spec not in _KERNELS:
+        raise ValueError(f"unknown codec {spec!r}; expected 'auto' or "
+                         f"one of {available_kernels()}")
+    return spec
+
+
+def resolve_kernel(spec: str | None) -> CodecKernel:
+    """The kernel a codec spec resolves to."""
+    return _KERNELS[resolve_codec(spec)]
+
+
+register_kernel(PythonKernel())
+register_kernel(NumpyKernel())

@@ -30,14 +30,14 @@ import warnings
 from concurrent.futures import Executor, ProcessPoolExecutor, \
     ThreadPoolExecutor
 from dataclasses import dataclass
+from functools import partial
 from typing import Iterable, Iterator, Protocol, runtime_checkable
 
 import numpy as np
 
 from ..core.blocks import BACKENDS, imap_bounded
 from ..core.container import SAGeArchive, SAGeBlock, block_as_archive
-from ..core.decompressor import SAGeDecompressor, \
-    renumber_fallback_headers
+from ..core.decompressor import SAGeDecompressor
 from ..core.formats import unpack_bits
 from ..genomics import fastq
 from ..genomics.reads import Read, ReadSet
@@ -96,6 +96,7 @@ class _ArchiveTemplate:
     preserve_order: bool
     name: str
     source_version: int
+    codec: str = "auto"
 
 
 #: (template, unpacked consensus) installed by the pool initializer.
@@ -125,11 +126,10 @@ def _decode_payload(template: _ArchiveTemplate, consensus: np.ndarray,
         w_cons=template.w_cons,
         preserve_order=template.preserve_order, name=template.name,
         source_version=template.source_version)
-    decoded = SAGeDecompressor(view, consensus=consensus).decompress()
-    if blk.headers_blob is None:
-        decoded = renumber_fallback_headers(decoded, base_reads,
-                                            template.name)
-    return decoded
+    base = base_reads if blk.headers_blob is None else None
+    return SAGeDecompressor(view, consensus=consensus,
+                            codec=template.codec) \
+        .decompress(header_base=base)
 
 
 def _decode_task(task: tuple[bytes, int]) -> ReadSet:
@@ -177,6 +177,11 @@ class StreamExecutor:
         self.workers = options.workers
         self.backend = options.backend
         self.prefetch = options.effective_prefetch
+        # The codec kernel decoding each block: an explicit options
+        # choice wins, otherwise inherit the session decompressor's.
+        self.codec = options.codec
+        if self.codec == "auto" and decompressor is not None:
+            self.codec = decompressor.codec
         self._decompressor = decompressor
         self.stats = ExecutorStats()
 
@@ -200,7 +205,8 @@ class StreamExecutor:
 
     def decompressor(self) -> SAGeDecompressor:
         if self._decompressor is None:
-            self._decompressor = SAGeDecompressor(self.archive)
+            self._decompressor = SAGeDecompressor(self.archive,
+                                                  codec=self.codec)
         return self._decompressor
 
     def __iter__(self) -> Iterator[ReadSet]:
@@ -253,14 +259,16 @@ class StreamExecutor:
         decoder = self.decompressor()
         for index in range(self.archive.n_blocks):
             self.stats.note_depth(1)
-            yield self._account(decoder.decompress_block(index))
+            yield self._account(
+                decoder.decompress_block(index, codec=self.codec))
 
     def _iter_threaded(self) -> Iterator[ReadSet]:
         decoder = self.decompressor()
         if self.archive.is_blocked:
             self.archive.block_index()       # pre-build: no lazy races
+        decode = partial(decoder.decompress_block, codec=self.codec)
         with ThreadPoolExecutor(max_workers=self.workers) as pool:
-            yield from self._drain(pool, decoder.decompress_block,
+            yield from self._drain(pool, decode,
                                    range(self.archive.n_blocks))
 
     def _iter_process(self) -> Iterator[ReadSet]:
@@ -270,7 +278,7 @@ class StreamExecutor:
             consensus_stream=arch.streams["consensus"],
             consensus_length=arch.consensus_length, w_cons=arch.w_cons,
             preserve_order=arch.preserve_order, name=arch.name,
-            source_version=arch.source_version)
+            source_version=arch.source_version, codec=self.codec)
         index = arch.block_index()
 
         def tasks() -> Iterator[tuple[bytes, int]]:

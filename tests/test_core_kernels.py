@@ -1,0 +1,526 @@
+"""Unit + cross-kernel tests for the codec kernel layer.
+
+The contract under test (``repro.core.kernels``): every kernel writes
+byte-identical streams and decodes identical reads.  The fuzz classes
+compress randomized read sets (short/long, indels, Ns, unmapped junk,
+quality on/off, all levels) with both kernels and assert archive bytes
+match, then decode each archive with both kernels — both directions of
+the byte-identity contract.
+"""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.api import EngineOptions, SAGeDataset
+from repro.core import SAGeCompressor, SAGeConfig, SAGeDecompressor
+from repro.core.bitio import BitIOError, BitReader, BitWriter
+from repro.core.kernels import (FastReader, TokenWriter, available_kernels,
+                                gather_fields, get_kernel, pack_fields,
+                                resolve_codec)
+from repro.core.mismatch import OptLevel
+from repro.core.prefix_codes import AssociationTable
+from repro.genomics import sequence as seqmod
+from repro.genomics.reads import Read, ReadSet
+
+fields = st.lists(
+    st.integers(min_value=0, max_value=56).flatmap(
+        lambda w: st.tuples(st.integers(min_value=0,
+                                        max_value=max(0, (1 << w) - 1)),
+                            st.just(w))),
+    min_size=0, max_size=80)
+
+
+class TestPackFields:
+    @given(fields)
+    def test_matches_bitwriter(self, pairs):
+        ref = BitWriter()
+        for value, width in pairs:
+            ref.write(value, width)
+        payload, bits = pack_fields([v for v, _ in pairs],
+                                    [w for _, w in pairs])
+        assert bits == ref.bit_length
+        assert payload == ref.getvalue()
+
+    def test_empty(self):
+        assert pack_fields([], []) == (b"", 0)
+
+    @given(fields)
+    def test_gather_roundtrip(self, pairs):
+        pairs = [(v, w) for v, w in pairs if w > 0]
+        payload, bits = pack_fields([v for v, _ in pairs],
+                                    [w for _, w in pairs])
+        widths = np.array([w for _, w in pairs], dtype=np.int64)
+        offsets = np.cumsum(widths) - widths
+        got = gather_fields((payload, bits), offsets, widths)
+        assert got.tolist() == [v for v, _ in pairs]
+
+    def test_gather_past_end(self):
+        with pytest.raises(BitIOError, match="mpa"):
+            gather_fields((b"\x00", 8), [0], [9], name="mpa")
+
+
+ops = st.lists(st.one_of(
+    st.tuples(st.just("write"),
+              st.integers(min_value=0, max_value=40).flatmap(
+                  lambda w: st.tuples(
+                      st.integers(min_value=0,
+                                  max_value=max(0, (1 << w) - 1)),
+                      st.just(w)))),
+    st.tuples(st.just("bit"), st.integers(min_value=0, max_value=1)),
+    st.tuples(st.just("unary"), st.integers(min_value=0, max_value=70)),
+    st.tuples(st.just("bytes"), st.binary(max_size=12)),
+    st.tuples(st.just("align"), st.none()),
+    st.tuples(st.just("run"),
+              st.tuples(st.integers(min_value=1, max_value=8),
+                        st.lists(st.integers(min_value=0, max_value=3),
+                                 max_size=10))),
+), max_size=40)
+
+
+def _apply(writer, sequence):
+    for op, arg in sequence:
+        if op == "write":
+            writer.write(arg[0], arg[1])
+        elif op == "bit":
+            writer.write_bit(arg)
+        elif op == "unary":
+            writer.write_unary(arg)
+        elif op == "bytes":
+            writer.write_bytes(arg)
+        elif op == "align":
+            writer.align_to_byte()
+        elif op == "run":
+            nbits, values = arg
+            values = [v & ((1 << nbits) - 1) for v in values]
+            writer.write_run(values, nbits)
+
+
+class TestTokenWriter:
+    @given(ops)
+    @settings(max_examples=200)
+    def test_matches_bitwriter(self, sequence):
+        ref, tok = BitWriter(), TokenWriter("t")
+        _apply(ref, sequence)
+        _apply(tok, sequence)
+        assert tok.bit_length == ref.bit_length
+        assert tok.getvalue() == ref.getvalue()
+
+    def test_validation_matches(self):
+        tok = TokenWriter()
+        with pytest.raises(BitIOError):
+            tok.write(4, 2)
+        with pytest.raises(BitIOError):
+            tok.write(-1, 4)
+        with pytest.raises(BitIOError):
+            tok.write(1, -1)
+        with pytest.raises(BitIOError):
+            tok.write_unary(-1)
+        with pytest.raises(BitIOError):
+            tok.write_run([0, 9], 3)
+        tok.write(0, 0)                       # no-op, like BitWriter
+        assert tok.bit_length == 0
+
+    def test_wide_field_splits(self):
+        ref, tok = BitWriter(), TokenWriter()
+        value = (1 << 100) - 3
+        ref.write(value, 101)
+        tok.write(value, 101)
+        assert tok.getvalue() == ref.getvalue()
+
+    def test_write_fields_matches(self):
+        ref, tok = BitWriter(), TokenWriter()
+        values, widths = [3, 0, 255, 1], [2, 1, 8, 7]
+        ref.write_fields(values, widths)
+        tok.write_fields(np.array(values), np.array(widths))
+        assert tok.getvalue() == ref.getvalue()
+
+
+class TestWriteRun:
+    def test_equivalent_to_loop(self):
+        a, b = BitWriter(), BitWriter()
+        values = list(range(16))
+        for v in values:
+            a.write(v, 5)
+        b.write_run(np.array(values, dtype=np.uint8), 5)
+        assert a.getvalue() == b.getvalue()
+        assert a.bit_length == b.bit_length
+
+    def test_invalid_value_fails_cleanly(self):
+        w = BitWriter()
+        w.write(1, 1)
+        with pytest.raises(BitIOError):
+            w.write_run([1, 2, 9], 3)
+        # the valid prefix was committed, like a per-value loop
+        assert w.bit_length == 1 + 2 * 3
+
+    def test_slots(self):
+        assert not hasattr(BitWriter(), "__dict__")
+        assert not hasattr(BitReader(b""), "__dict__")
+
+
+class TestFastReader:
+    @given(fields)
+    def test_field_sequence(self, pairs):
+        w = BitWriter()
+        for value, width in pairs:
+            w.write(value, width)
+        r = FastReader(w.getvalue(), w.bit_length)
+        for value, width in pairs:
+            assert r.read(width) == value
+        assert r.remaining == 0
+
+    @given(st.lists(st.integers(min_value=0, max_value=20), max_size=30))
+    def test_unary_sequence(self, values):
+        w = BitWriter()
+        for v in values:
+            w.write_unary(v)
+        r = FastReader(w.getvalue(), w.bit_length)
+        assert [r.read_unary() for _ in values] == values
+
+    @given(st.binary(max_size=40), st.integers(min_value=0, max_value=7))
+    def test_read_bytes_any_alignment(self, data, skew):
+        w = BitWriter()
+        w.write(0, skew)
+        w.write_bytes(data)
+        r = FastReader(w.getvalue(), w.bit_length)
+        assert r.read(skew) == 0
+        assert r.read_bytes(len(data)) == data
+
+    def test_mixed_against_bitreader(self):
+        rng = np.random.default_rng(0)
+        w = BitWriter()
+        script = []
+        for _ in range(200):
+            kind = rng.integers(0, 3)
+            if kind == 0:
+                width = int(rng.integers(1, 57))
+                value = int(rng.integers(0, 1 << min(width, 62)))
+                value &= (1 << width) - 1
+                w.write(value, width)
+                script.append(("f", width))
+            elif kind == 1:
+                w.write_unary(int(rng.integers(0, 12)))
+                script.append(("u", None))
+            else:
+                data = bytes(rng.integers(0, 256, 3, dtype=np.uint8))
+                w.write_bytes(data)
+                script.append(("b", len(data)))
+        ref = BitReader(w.getvalue(), w.bit_length)
+        fast = FastReader(w.getvalue(), w.bit_length)
+        for kind, arg in script:
+            if kind == "f":
+                assert fast.read(arg) == ref.read(arg)
+            elif kind == "u":
+                assert fast.read_unary() == ref.read_unary()
+            else:
+                assert fast.read_bytes(arg) == ref.read_bytes(arg)
+            assert fast.position == ref.position
+
+    def test_wide_field(self):
+        w = BitWriter()
+        w.write(3, 7)                          # skew the alignment
+        value = (1 << 90) - 123
+        w.write(value, 91)
+        r = FastReader(w.getvalue(), w.bit_length)
+        assert r.read(7) == 3
+        assert r.read(91) == value
+
+    def test_past_end_context(self):
+        r = FastReader(b"\x00", 4, name="mmpa")
+        r.read(4)
+        with pytest.raises(BitIOError, match=r"mmpa.*past end.*bit 4"):
+            r.read(1)
+
+    def test_unary_without_terminator(self):
+        r = FastReader(b"\xff", 8, name="mpga")
+        with pytest.raises(BitIOError, match="mpga"):
+            r.read_unary()
+
+
+class TestReaderErrorContext:
+    """Satellite: BitReader past-end errors carry stream name + offset."""
+
+    def test_named_reader_message(self):
+        r = BitReader(b"\x00", 4, name="mmpga")
+        r.read(3)
+        with pytest.raises(BitIOError,
+                           match=r"mmpga: read of 2 bits past end at "
+                                 r"bit 3 \(stream is 4 bits\)"):
+            r.read(2)
+
+    def test_unnamed_reader_message(self):
+        r = BitReader(b"", 0)
+        with pytest.raises(BitIOError, match="bit stream"):
+            r.read(1)
+
+    def test_read_bytes_context(self):
+        r = BitReader(b"\xab", name="unmapped")
+        with pytest.raises(BitIOError, match="unmapped"):
+            r.read_bytes(2)
+
+    def test_decoder_truncation_names_stream(self, rs3_small):
+        archive = SAGeCompressor(
+            rs3_small.reference,
+            SAGeConfig(with_quality=False)).compress(rs3_small.read_set)
+        clone = type(archive).from_bytes(archive.to_bytes())
+        clone.streams = dict(clone.streams)
+        clone.streams["mbta"] = (b"", 0)
+        with pytest.raises((BitIOError, ValueError)) as err:
+            SAGeDecompressor(clone, codec="python").decompress()
+        assert "mbta" in str(err.value)
+
+
+class TestClassify:
+    @given(st.lists(st.integers(min_value=0, max_value=10_000),
+                    min_size=1, max_size=50))
+    def test_matches_scalar(self, values):
+        table = AssociationTable((2, 7, 14, 0))
+        expected = [table.class_for_value(v) for v in values]
+        assert table.classify(values).tolist() == expected
+
+    def test_out_of_range(self):
+        table = AssociationTable((2,))
+        with pytest.raises(ValueError, match="exceeds all class widths"):
+            table.classify([1, 4])
+
+    def test_encode_run_matches_scalar(self):
+        table = AssociationTable((3, 9, 0))
+        values = [0, 5, 130, 7, 0, 511]
+        g1, a1 = BitWriter(), BitWriter()
+        for v in values:
+            table.encode(v, g1, a1)
+        g2, a2 = BitWriter(), BitWriter()
+        table.encode_run(values, g2, a2)
+        assert (g1.getvalue(), a1.getvalue()) \
+            == (g2.getvalue(), a2.getvalue())
+        # shared-stream arrangement (guide is array)
+        s1, s2 = BitWriter(), BitWriter()
+        for v in values:
+            table.encode(v, s1, s1)
+        table.encode_run(values, s2, s2)
+        assert s1.getvalue() == s2.getvalue()
+
+
+class TestRegistry:
+    def test_available(self):
+        assert set(available_kernels()) >= {"python", "numpy"}
+
+    def test_get_unknown(self):
+        with pytest.raises(ValueError, match="unknown codec kernel"):
+            get_kernel("fpga")
+
+    def test_resolve_env(self, monkeypatch):
+        monkeypatch.delenv("SAGE_CODEC", raising=False)
+        assert resolve_codec("python") == "python"
+        assert resolve_codec("auto") in available_kernels()
+        monkeypatch.setenv("SAGE_CODEC", "python")
+        assert resolve_codec("auto") == "python"
+        assert resolve_codec(None) == "python"
+        monkeypatch.setenv("SAGE_CODEC", "bogus")
+        with pytest.raises(ValueError, match="unknown codec"):
+            resolve_codec("auto")
+
+    def test_engine_options_validation(self):
+        assert EngineOptions(codec="numpy").codec == "numpy"
+        with pytest.raises(ValueError, match="unknown codec"):
+            EngineOptions(codec="fpga")
+
+    def test_options_reach_compressor_config(self):
+        cfg = EngineOptions(codec="python").compressor_config()
+        assert cfg.codec == "python"
+
+
+# ----------------------------------------------------------------------
+# Cross-kernel fuzz: byte-identical archives, identical reads, both ways
+# ----------------------------------------------------------------------
+
+
+def _random_read_set(rng, reference, *, n_reads, read_len, fixed,
+                     with_quality, junk_rate=0.05, n_rate=0.05,
+                     indel_rate=0.3):
+    """Randomized reads off ``reference`` plus unmapped junk."""
+    reads = []
+    for i in range(n_reads):
+        length = read_len if fixed \
+            else int(rng.integers(read_len // 2, read_len * 2))
+        if rng.random() < junk_rate:
+            codes = rng.integers(0, 4, length).astype(np.uint8)
+            rng.shuffle(codes)
+            codes = ((codes + rng.integers(0, 4, length)) % 4) \
+                .astype(np.uint8)
+        else:
+            start = int(rng.integers(0, max(1, reference.size - length)))
+            codes = reference[start:start + length].copy()
+            n_subs = int(rng.integers(0, 4))
+            for _ in range(n_subs):
+                p = int(rng.integers(0, length))
+                codes[p] = (codes[p] + 1 + rng.integers(0, 3)) % 4
+            if rng.random() < indel_rate and length > 8:
+                p = int(rng.integers(1, length - 4))
+                span = int(rng.integers(1, 4))
+                if rng.random() < 0.5:      # insertion
+                    ins = rng.integers(0, 4, span).astype(np.uint8)
+                    codes = np.concatenate([codes[:p], ins, codes[p:]])
+                else:                        # deletion
+                    codes = np.concatenate([codes[:p], codes[p + span:]])
+                if fixed:
+                    codes = codes[:length]
+                    if codes.size < length:
+                        pad = reference[:length - codes.size]
+                        codes = np.concatenate([codes, pad])
+            if rng.random() < n_rate:
+                p = int(rng.integers(0, codes.size))
+                codes[p:p + int(rng.integers(1, 4))] = seqmod.N_CODE
+            if rng.random() < 0.5:
+                codes = seqmod.reverse_complement(codes)
+        quality = rng.integers(2, 40, codes.size).astype(np.uint8) \
+            if with_quality else None
+        reads.append(Read(codes=codes.astype(np.uint8), quality=quality,
+                          header=f"fuzz.{i}"))
+    return ReadSet(reads, name="fuzz")
+
+
+def _assert_cross_kernel(read_set, reference, config):
+    archives = {}
+    for codec in ("python", "numpy"):
+        cfg = SAGeConfig(**{**config.__dict__, "codec": codec})
+        archives[codec] = SAGeCompressor(reference, cfg) \
+            .compress(read_set)
+    blob_py = archives["python"].to_bytes()
+    blob_np = archives["numpy"].to_bytes()
+    assert blob_py == blob_np, "kernels produced different archives"
+    decoded = {}
+    for enc in ("python", "numpy"):
+        for dec in ("python", "numpy"):
+            decoded[(enc, dec)] = SAGeDecompressor(
+                archives[enc], codec=dec).decompress()
+    baseline = decoded[("python", "python")]
+    assert len(baseline) == len(read_set)
+    for key, result in decoded.items():
+        assert len(result) == len(baseline), key
+        for a, b in zip(baseline, result):
+            assert np.array_equal(a.codes, b.codes), key
+            assert (a.quality is None) == (b.quality is None), key
+            if a.quality is not None:
+                assert np.array_equal(a.quality, b.quality), key
+    return baseline
+
+
+@pytest.fixture(scope="module")
+def fuzz_reference():
+    rng = np.random.default_rng(42)
+    return rng.integers(0, 4, 6_000).astype(np.uint8)
+
+
+class TestCrossKernelFuzz:
+    @pytest.mark.parametrize("level", [OptLevel.NO, OptLevel.O2,
+                                       OptLevel.O4])
+    def test_short_fixed_reads(self, fuzz_reference, level):
+        rng = np.random.default_rng(int(level) + 1)
+        reads = _random_read_set(rng, fuzz_reference, n_reads=120,
+                                 read_len=80, fixed=True,
+                                 with_quality=True)
+        baseline = _assert_cross_kernel(
+            reads, fuzz_reference, SAGeConfig(level=level))
+        # losslessness of the content itself (order may differ)
+        got = sorted(r.codes.tobytes() for r in baseline)
+        want = sorted(r.codes.tobytes() for r in reads)
+        assert got == want
+
+    @pytest.mark.parametrize("with_quality", [True, False])
+    def test_long_variable_reads(self, fuzz_reference, with_quality):
+        rng = np.random.default_rng(7 if with_quality else 8)
+        reads = _random_read_set(rng, fuzz_reference, n_reads=60,
+                                 read_len=300, fixed=False,
+                                 with_quality=with_quality,
+                                 indel_rate=0.8)
+        _assert_cross_kernel(
+            reads, fuzz_reference,
+            SAGeConfig(with_quality=with_quality, long_reads=True))
+
+    def test_preserve_order_and_headers(self, fuzz_reference):
+        rng = np.random.default_rng(99)
+        reads = _random_read_set(rng, fuzz_reference, n_reads=80,
+                                 read_len=90, fixed=True,
+                                 with_quality=True)
+        baseline = _assert_cross_kernel(
+            reads, fuzz_reference,
+            SAGeConfig(preserve_order=True, with_headers=True))
+        for original, decoded in zip(reads, baseline):
+            assert np.array_equal(original.codes, decoded.codes)
+            assert original.header == decoded.header
+
+    def test_tuned_indel_lengths(self, fuzz_reference):
+        rng = np.random.default_rng(5)
+        reads = _random_read_set(rng, fuzz_reference, n_reads=60,
+                                 read_len=200, fixed=False,
+                                 with_quality=False, indel_rate=0.9)
+        _assert_cross_kernel(reads, fuzz_reference,
+                             SAGeConfig(tuned_indel_lengths=True,
+                                        long_reads=True))
+
+    def test_empty_and_tiny_sets(self, fuzz_reference):
+        empty = ReadSet([], name="empty")
+        _assert_cross_kernel(empty, fuzz_reference, SAGeConfig())
+        one = ReadSet([Read(codes=fuzz_reference[:50].copy(),
+                            header="solo")], name="one")
+        _assert_cross_kernel(one, fuzz_reference,
+                             SAGeConfig(with_quality=False))
+
+    def test_simulator_analogs(self, rs4_small):
+        """The long-read analog: chimeras, bursts, clips, and Ns."""
+        _assert_cross_kernel(rs4_small.read_set, rs4_small.reference,
+                             SAGeConfig())
+
+
+class TestFallbackHeaderNaming:
+    """decompress(header_base=) must not change legacy header naming."""
+
+    def test_flat_preserve_order_block_view_matches_decompress(
+            self, fuzz_reference):
+        rng = np.random.default_rng(11)
+        reads = _random_read_set(rng, fuzz_reference, n_reads=40,
+                                 read_len=70, fixed=True,
+                                 with_quality=False)
+        archive = SAGeCompressor(
+            fuzz_reference,
+            SAGeConfig(preserve_order=True, with_quality=False)) \
+            .compress(reads)
+        decoder = SAGeDecompressor(archive)
+        whole = [r.header for r in decoder.decompress()]
+        block0 = [r.header for r in decoder.decompress_block(0)]
+        assert whole == block0
+
+    def test_blocked_fallback_headers_sequential(self, rs3_small):
+        dataset = SAGeDataset.from_fastq(
+            rs3_small.read_set, reference=rs3_small.reference,
+            options=EngineOptions(block_reads=32, with_quality=False))
+        headers = [r.header for r in dataset.reads()]
+        name = rs3_small.read_set.name or "sage"
+        assert headers == [f"{name}.{i}" for i in range(len(headers))]
+
+
+class TestBlockedCrossKernel:
+    def test_blocked_archive_and_streaming(self, rs3_small):
+        from repro.core.container import SAGeArchive
+
+        blobs = {}
+        for codec in ("python", "numpy"):
+            options = EngineOptions(block_reads=32, codec=codec)
+            dataset = SAGeDataset.from_fastq(
+                rs3_small.read_set, reference=rs3_small.reference,
+                options=options)
+            blobs[codec] = dataset.to_bytes()
+        assert blobs["python"] == blobs["numpy"]
+        sets = {}
+        for codec in ("python", "numpy"):
+            archive = SAGeArchive.from_bytes(blobs[codec])
+            with SAGeDataset(archive,
+                             options=EngineOptions(codec=codec)) as ds:
+                sets[codec] = list(ds.blocks())
+        assert len(sets["python"]) == len(sets["numpy"]) > 1
+        for a, b in zip(sets["python"], sets["numpy"]):
+            for x, y in zip(a, b):
+                assert np.array_equal(x.codes, y.codes)
