@@ -20,6 +20,7 @@ from ..core.blocks import BACKENDS, DEFAULT_BLOCK_READS, INFLIGHT_PER_WORKER
 from ..core.compressor import SAGeConfig
 from ..core.kernels import available_kernels
 from ..core.mismatch import OptLevel
+from ..mapping.batch import available_mappers
 
 __all__ = ["EngineOptions", "resolve_stream_options"]
 
@@ -59,6 +60,14 @@ class EngineOptions:
         ``auto`` resolves through ``$SAGE_CODEC`` to the registry
         default.  Archives are byte-identical across kernels — this is
         a pure-speed knob.
+    mapper:
+        Mapper kernel for the read→consensus mismatch-finding hot path,
+        one of :func:`repro.mapping.batch.available_mappers`
+        (``python`` = scalar seed-chain-extend reference, ``numpy`` =
+        vectorized batch mapper with the bit-parallel pre-alignment
+        filter).  ``auto`` resolves through ``$SAGE_MAPPER`` to the
+        registry default.  Archives are byte-identical across mappers —
+        like ``codec``, a pure-speed knob.
     """
 
     workers: int = 1
@@ -69,6 +78,7 @@ class EngineOptions:
     long_reads: bool | None = None
     with_quality: bool = True
     codec: str = "auto"
+    mapper: str = "auto"
 
     def __post_init__(self) -> None:
         if isinstance(self.level, str):
@@ -100,6 +110,10 @@ class EngineOptions:
             raise ValueError(
                 f"unknown codec {self.codec!r}; expected 'auto' or one "
                 f"of {available_kernels()}")
+        if self.mapper != "auto" and self.mapper not in available_mappers():
+            raise ValueError(
+                f"unknown mapper {self.mapper!r}; expected 'auto' or one "
+                f"of {available_mappers()}")
 
     # ------------------------------------------------------------------
     # Derived views
@@ -137,7 +151,8 @@ class EngineOptions:
         keeps the :class:`SAGeConfig` defaults (override via kwargs).
         """
         kwargs = dict(level=self.level, with_quality=self.with_quality,
-                      long_reads=self.long_reads, codec=self.codec)
+                      long_reads=self.long_reads, codec=self.codec,
+                      mapper_kernel=self.mapper)
         kwargs.update(overrides)
         return SAGeConfig(**kwargs)
 
@@ -164,6 +179,7 @@ class EngineOptions:
             "long_reads": self.long_reads,
             "with_quality": self.with_quality,
             "codec": self.codec,
+            "mapper": self.mapper,
         }
 
 

@@ -4,6 +4,7 @@ Subcommands::
 
     sage compress   input.fastq consensus.txt output.sage [--level O4]
                     [--workers N] [--block-reads M] [--codec NAME]
+                    [--mapper NAME]
     sage decompress input.sage output.fastq [--workers N] [--codec NAME]
     sage cat        input.sage [--block I] [--output out.fastq]
                     [--workers N] [--codec NAME]
@@ -11,7 +12,8 @@ Subcommands::
                     [--mapping-rate] [--json] [--codec NAME]
     sage inspect    input.sage [--json]
     sage bench      input.{sage,fastq} [--consensus ref.txt]
-                    [--codec NAME ...] [--repeat R] [--json]
+                    [--codec NAME ...] [--encode] [--mapper NAME ...]
+                    [--repeat R] [--json]
     sage simulate   RS2 output.fastq [--genome 50000] [--ref ref.txt]
 
 The consensus file is plain ACGT text (a reference genome); ``simulate``
@@ -34,8 +36,12 @@ consensus as the reference.
 ``--codec NAME`` selects the codec kernel for the array-stream hot path
 (:mod:`repro.core.kernels`): ``python`` is the bit-serial reference,
 ``numpy`` the vectorized batch kernel; archives are byte-identical
-across kernels.  ``sage bench`` measures encode/decode MB/s for every
-requested kernel on a FASTQ file or an existing archive.
+across kernels.  ``--mapper NAME`` does the same for the read-mapping
+hot path (:mod:`repro.mapping.batch`).  ``sage bench`` measures
+encode/decode MB/s for every requested codec kernel on a FASTQ file or
+an existing archive; ``sage bench --encode`` adds per-mapper encode
+rows (MB/s plus the batch mapper's pre-alignment filter statistics:
+candidates/read, filter reject %, DP cells).
 """
 
 from __future__ import annotations
@@ -49,6 +55,7 @@ from .api import EngineOptions, SAGeDataset, available_sinks
 from .core import OptLevel, SAGeArchive
 from .core.container import STREAM_NAMES
 from .core.kernels import available_kernels, resolve_codec
+from .mapping import batch as mapper_batch
 from .genomics import datasets, fastq
 from .genomics import sequence as seqmod
 from .genomics.reads import ReadSet
@@ -67,7 +74,8 @@ def _cmd_compress(args: argparse.Namespace) -> int:
                               block_reads=args.block_reads,
                               level=args.level,
                               with_quality=not args.no_quality,
-                              codec=args.codec)
+                              codec=args.codec,
+                              mapper=args.mapper)
     dataset = SAGeDataset.from_fastq(args.input,
                                      reference=args.consensus,
                                      options=options)
@@ -378,6 +386,12 @@ def _cmd_bench(args: argparse.Namespace) -> int:
             "reads": len(reads), "fastq_mb": round(fastq_mb, 3),
             "repeat": args.repeat, "archives_byte_identical": identical,
             "kernels": rows}
+    mapper_rows: dict[str, dict] = {}
+    if args.encode:
+        mapper_rows, mappers_identical = _bench_mappers(
+            args, reads, consensus, fastq_mb)
+        info["mappers"] = mapper_rows
+        info["mapper_archives_byte_identical"] = mappers_identical
     if args.json:
         print(json.dumps(info, indent=2, sort_keys=True))
         return 0
@@ -390,7 +404,70 @@ def _cmd_bench(args: argparse.Namespace) -> int:
     if len(rows) > 1:
         print("archives byte-identical across kernels: "
               f"{'yes' if identical else 'NO (BUG)'}")
+    if mapper_rows:
+        print(f"{'mapper':<10}{'encode MB/s':>14}{'cand/read':>12}"
+              f"{'reject %':>10}{'DP cells':>12}")
+        for mapper, row in mapper_rows.items():
+            cand = row.get("candidates_per_read")
+            reject = row.get("filter_reject_pct")
+            cells = row.get("dp_cells")
+            print(f"{mapper:<10}{row['encode_mb_s']:>14.2f}"
+                  f"{cand if cand is not None else '-':>12}"
+                  f"{reject if reject is not None else '-':>10}"
+                  f"{cells if cells is not None else '-':>12}")
+        if len(mapper_rows) > 1:
+            print("archives byte-identical across mappers: "
+                  f"{'yes' if mappers_identical else 'NO (BUG)'}")
     return 0
+
+
+def _bench_mappers(args: argparse.Namespace, reads, consensus,
+                   fastq_mb: float) -> tuple[dict, bool]:
+    """Per-mapper-kernel encode rows for ``sage bench --encode``.
+
+    Encodes run with ``workers=1`` so the batch mapper's in-process
+    :data:`repro.mapping.batch.GLOBAL_STATS` reflect the measured pass
+    (candidates examined, filter rejects, DP cells).
+    """
+    import time
+
+    mappers = list(args.mapper or mapper_batch.available_mappers())
+    try:
+        mappers = [mapper_batch.resolve_mapper(m) for m in mappers]
+    except ValueError as exc:
+        raise SystemExit(f"sage: {exc}") from None
+    rows: dict[str, dict] = {}
+    blobs: dict[str, bytes] = {}
+    for mapper in mappers:
+        options = _engine_options(mapper=mapper, level=args.level,
+                                  block_reads=args.block_reads,
+                                  with_quality=not args.no_quality)
+        enc_best = float("inf")
+        archive = None
+        for _ in range(max(1, args.repeat)):
+            mapper_batch.reset_stats()
+            t0 = time.perf_counter()
+            dataset = SAGeDataset.from_fastq(reads, reference=consensus,
+                                             options=options)
+            enc_best = min(enc_best, time.perf_counter() - t0)
+            archive = dataset.archive
+        blobs[mapper] = archive.to_bytes()
+        row = {"encode_s": round(enc_best, 4),
+               "encode_mb_s": round(fastq_mb / enc_best, 2)}
+        stats = mapper_batch.GLOBAL_STATS
+        if stats.reads:  # the batch kernel populated its counters
+            row.update({
+                "candidates_per_read": round(stats.candidates_per_read, 4),
+                "filter_reject_pct":
+                    round(100 * stats.filter_reject_fraction, 4),
+                "false_accept_pct":
+                    round(100 * stats.false_accept_fraction, 4),
+                "fast_path_pct": round(100 * stats.fast_path_fraction, 4),
+                "dp_cells": stats.dp_cells,
+            })
+        rows[mapper] = row
+    identical = len(set(blobs.values())) == 1
+    return rows, identical
 
 
 def _cmd_simulate(args: argparse.Namespace) -> int:
@@ -415,6 +492,14 @@ def _add_codec_flag(parser: argparse.ArgumentParser) -> None:
                              "kernels")
 
 
+def _add_mapper_flag(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument(
+        "--mapper", default="auto",
+        help="mapper kernel for read mapping (auto or one of: "
+             f"{', '.join(mapper_batch.available_mappers())}); "
+             "archives are byte-identical across mappers")
+
+
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="sage", description="SAGe genomic (de)compression")
@@ -433,6 +518,7 @@ def build_parser() -> argparse.ArgumentParser:
                    help="reads per independently decodable block "
                         "(0 = single-block archive)")
     _add_codec_flag(p)
+    _add_mapper_flag(p)
     p.set_defaults(func=_cmd_compress)
 
     p = sub.add_parser("decompress", help="decompress to FASTQ")
@@ -492,6 +578,14 @@ def build_parser() -> argparse.ArgumentParser:
                    metavar="NAME",
                    help="kernel to measure (repeatable; default: all "
                         f"registered: {', '.join(available_kernels())})")
+    p.add_argument("--encode", action="store_true",
+                   help="also measure per-mapper-kernel encode rows "
+                        "(MB/s plus pre-alignment filter statistics)")
+    p.add_argument("--mapper", action="append", default=None,
+                   metavar="NAME",
+                   help="mapper kernel to measure with --encode "
+                        "(repeatable; default: all registered: "
+                        f"{', '.join(mapper_batch.available_mappers())})")
     p.add_argument("--level", default="O4",
                    choices=[lvl.name for lvl in OptLevel])
     p.add_argument("--block-reads", type=int, default=0,

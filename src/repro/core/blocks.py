@@ -33,6 +33,8 @@ import numpy as np
 
 from .._compat import warn_once
 from ..genomics.reads import ReadSet, partition_reads
+from ..mapping.kmer_index import KmerIndex
+from ..mapping.mapper import MapperConfig
 from .compressor import SAGeCompressor, SAGeConfig
 from .container import SAGeArchive, SAGeBlock
 from .formats import pack_bits
@@ -68,38 +70,45 @@ BACKENDS = ("auto", "serial", "thread", "process")
 _chunk_compressor: tuple[np.ndarray, SAGeConfig, SAGeCompressor] | None \
     = None
 
-#: (consensus, config) installed in each worker by the pool initializer,
-#: so per-chunk submissions ship only the chunk, not the genome.
-_worker_state: tuple[np.ndarray, SAGeConfig] | None = None
+#: (consensus, config, shared k-mer index) installed in each worker by
+#: the pool initializer, so per-chunk submissions ship only the chunk,
+#: not the genome — and the consensus is indexed once in the parent, not
+#: once per worker.
+_worker_state: tuple[np.ndarray, SAGeConfig, KmerIndex | None] | None = None
 
 
 def _compress_chunk(consensus: np.ndarray, config: SAGeConfig,
-                    chunk: ReadSet) -> SAGeBlock:
+                    chunk: ReadSet,
+                    index: KmerIndex | None = None) -> SAGeBlock:
     """Compress one block of reads.
 
     Pure function of its arguments; determinism here is what makes
-    parallel and serial compression byte-identical.
+    parallel and serial compression byte-identical.  ``index`` optionally
+    injects a prebuilt consensus k-mer index (unpickling one does not
+    rebuild it, so workers inherit the parent's single build).
     """
     global _chunk_compressor
     memo = _chunk_compressor
     if memo is None or memo[0] is not consensus or memo[1] is not config:
-        memo = (consensus, config, SAGeCompressor(consensus, config))
+        memo = (consensus, config,
+                SAGeCompressor(consensus, config, shared_index=index))
         _chunk_compressor = memo
     archive = memo[2].compress(chunk)
     return block_from_archive(archive)
 
 
-def _init_worker(consensus: np.ndarray, config: SAGeConfig) -> None:
+def _init_worker(consensus: np.ndarray, config: SAGeConfig,
+                 index: KmerIndex | None = None) -> None:
     """Pool initializer: receive the shared inputs once per process."""
     global _worker_state
-    _worker_state = (consensus, config)
+    _worker_state = (consensus, config, index)
 
 
 def _compress_chunk_pooled(chunk: ReadSet) -> SAGeBlock:
     """Process-pool entry point; reads the initializer-installed state."""
     assert _worker_state is not None, "worker initializer did not run"
-    consensus, config = _worker_state
-    return _compress_chunk(consensus, config, chunk)
+    consensus, config, index = _worker_state
+    return _compress_chunk(consensus, config, chunk, index)
 
 
 def block_from_archive(archive: SAGeArchive) -> SAGeBlock:
@@ -199,6 +208,7 @@ class BlockCompressor:
         self.options = options
         self.block_reads = options.effective_block_reads
         self.workers = options.workers
+        self._index: KmerIndex | None = None
 
     # ------------------------------------------------------------------
     # Public API
@@ -248,13 +258,23 @@ class BlockCompressor:
                                       ReadSet([], name=name))]
         return blocks, name or (first_names[0] if first_names else "")
 
+    def _shared_index(self) -> KmerIndex:
+        """Consensus k-mer index, built once per archive in the parent."""
+        if self._index is None:
+            mapper_cfg = self.config.mapper or MapperConfig()
+            self._index = KmerIndex(
+                self.consensus, k=mapper_cfg.k,
+                max_occurrences=mapper_cfg.max_occurrences)
+        return self._index
+
     def _compress_parallel(self,
                            chunks: Iterator[ReadSet]) -> list[SAGeBlock]:
         window = self.workers * INFLIGHT_PER_WORKER
         try:
             executor = ProcessPoolExecutor(
                 max_workers=self.workers, initializer=_init_worker,
-                initargs=(self.consensus, self.config))
+                initargs=(self.consensus, self.config,
+                          self._shared_index()))
         except (OSError, PermissionError) as exc:   # pragma: no cover
             warnings.warn(f"process pool unavailable ({exc}); "
                           "falling back to serial block compression",

@@ -23,6 +23,8 @@ from .._compat import warn_once
 from ..genomics import sequence as seq
 from ..genomics.reads import Read, ReadSet
 from ..mapping.alignment import DEL, INS, SUB
+from ..mapping.batch import make_mapper
+from ..mapping.kmer_index import KmerIndex
 from ..mapping.mapper import MapperConfig, MappingResult, ReadMapper
 from . import headers as headers_codec
 from . import quality as quality_codec
@@ -58,6 +60,11 @@ class SAGeConfig:
     #: $SAGE_CODEC to the registry default).  Every kernel produces a
     #: byte-identical archive; see :mod:`repro.core.kernels`.
     codec: str = "auto"
+    #: Mapper kernel finding mismatches ("auto" defers to the mapper
+    #: config's ``kernel`` field, then $SAGE_MAPPER, then the registry
+    #: default).  Every kernel produces a byte-identical archive; see
+    #: :mod:`repro.mapping.batch`.
+    mapper_kernel: str = "auto"
     # Extensions beyond the paper's default configuration:
     preserve_order: bool = False      # store the original read order
     with_headers: bool = False        # store read headers (front-coded)
@@ -114,7 +121,8 @@ class SAGeCompressor:
     """Compresses read sets against a consensus sequence."""
 
     def __init__(self, consensus: np.ndarray,
-                 config: SAGeConfig | None = None):
+                 config: SAGeConfig | None = None,
+                 shared_index: KmerIndex | None = None):
         self.consensus = np.asarray(consensus, dtype=np.uint8)
         if self.consensus.size and self.consensus.max() >= 4:
             raise CompressionError("consensus must be A/C/G/T only")
@@ -123,6 +131,14 @@ class SAGeCompressor:
         # cache them so repeated compress() calls — the per-block loop of
         # the streaming engine — reuse the index.
         self._mapper_cache: dict[tuple, ReadMapper] = {}
+        # One k-mer index serves every mapper variant: the level
+        # adjustments in _build_mapper never touch k/max_occurrences.
+        # ``shared_index`` lets the block engine inject an index built
+        # once in the parent process.
+        self._index_cache: dict[tuple[int, int], KmerIndex] = {}
+        if shared_index is not None:
+            self._index_cache[(shared_index.k,
+                               shared_index.max_occurrences)] = shared_index
 
     # ------------------------------------------------------------------
     # Public API
@@ -137,10 +153,11 @@ class SAGeCompressor:
             long_reads = not read_set.is_fixed_length
         mapper = self._build_mapper(level, long_reads)
 
+        mappings = mapper.map_batch([read.codes for read in read_set])
+
         plans: list[tuple[int, _ReadPlan]] = []
         unmapped: list[tuple[int, _UnmappedPlan]] = []
-        for idx, read in enumerate(read_set):
-            mapping = mapper.map_read(read.codes)
+        for idx, (read, mapping) in enumerate(zip(read_set, mappings)):
             if mapping.unmapped:
                 unmapped.append((idx, _UnmappedPlan(read.codes)))
             else:
@@ -175,9 +192,26 @@ class SAGeCompressor:
         cached = self._mapper_cache.get(key)
         if cached is not None:
             return cached
-        mapper = ReadMapper(self.consensus, mapper_cfg)
+        mapper = make_mapper(self.config.mapper_kernel, self.consensus,
+                             mapper_cfg, index=self.shared_kmer_index())
         self._mapper_cache[key] = mapper
         return mapper
+
+    def shared_kmer_index(self) -> KmerIndex:
+        """The consensus k-mer index this compressor's mappers share.
+
+        Built (or injected) once per compressor; the block engine ships
+        it to process workers so the consensus is indexed exactly once
+        per archive instead of once per worker.
+        """
+        mapper_cfg = self.config.mapper or MapperConfig()
+        key = (mapper_cfg.k, mapper_cfg.max_occurrences)
+        index = self._index_cache.get(key)
+        if index is None:
+            index = KmerIndex(self.consensus, k=mapper_cfg.k,
+                              max_occurrences=mapper_cfg.max_occurrences)
+            self._index_cache[key] = index
+        return index
 
     def _plan_read(self, read: Read, mapping: MappingResult) -> _ReadPlan:
         cons = self.consensus

@@ -29,6 +29,12 @@ class AnchorHits:
 class KmerIndex:
     """Sorted-array index of all k-mers in a consensus sequence."""
 
+    #: Total number of indexes built in this process.  Building is the
+    #: expensive part (a sort over every consensus k-mer), so tests use
+    #: this counter to assert the index is shared, not rebuilt, across
+    #: block-compressor workers and mapper-cache entries.
+    build_count = 0
+
     def __init__(self, consensus: np.ndarray, k: int = 15,
                  max_occurrences: int = 32):
         """Index ``consensus``.
@@ -36,6 +42,7 @@ class KmerIndex:
         ``max_occurrences`` caps how many consensus positions a single
         (repetitive) k-mer may report during queries.
         """
+        KmerIndex.build_count += 1
         self.consensus = np.asarray(consensus, dtype=np.uint8)
         self.k = k
         self.max_occurrences = max_occurrences
@@ -50,9 +57,34 @@ class KmerIndex:
         self._positions = positions[order]
         # Range of each distinct k-mer in the sorted arrays.
         self._starts = np.searchsorted(self._values, self._values, "left")
+        self._ends = np.searchsorted(self._values, self._values, "right")
 
     def __len__(self) -> int:
         return int(self._values.size)
+
+    @property
+    def values(self) -> np.ndarray:
+        """Sorted k-mer values (read-only; for batched queries)."""
+        return self._values
+
+    @property
+    def positions(self) -> np.ndarray:
+        """Consensus positions aligned with :attr:`values`."""
+        return self._positions
+
+    def query_ranges(self,
+                     queries: np.ndarray) -> tuple[np.ndarray, np.ndarray]:
+        """(first slot, uncapped occurrence count) per queried k-mer value.
+
+        One ``searchsorted`` instead of two: the right boundary of each
+        run is a precomputed table lookup.  Absent values (including the
+        N sentinel) report zero occurrences.  Requires a non-empty index.
+        """
+        lo = np.searchsorted(self._values, queries, "left")
+        safe = np.minimum(lo, self._values.size - 1)
+        found = (lo < self._values.size) & (self._values[safe] == queries)
+        counts = np.where(found, self._ends[safe] - lo, 0)
+        return lo, counts
 
     def lookup(self, read_codes: np.ndarray, stride: int = 1) -> AnchorHits:
         """Anchor hits for every ``stride``-th k-mer of a read."""
@@ -80,7 +112,8 @@ class KmerIndex:
 
         out_read = np.repeat(read_positions, counts)
         # Gather consensus positions: for query i, slots lo[i]..lo[i]+c-1.
-        offsets = np.concatenate([np.arange(c) for c in counts if c > 0])
+        cum = np.cumsum(counts) - counts
+        offsets = np.arange(total, dtype=np.int64) - np.repeat(cum, counts)
         starts = np.repeat(lo, counts)
         out_cons = self._positions[starts + offsets]
         return AnchorHits(out_read, out_cons)

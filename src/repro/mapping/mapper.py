@@ -111,21 +111,46 @@ class MapperConfig:
     clip_cost_fraction: float = 0.45  # head/tail cost ratio that means clip
     unmapped_cost_fraction: float = 0.40  # whole-read cost ratio => unmapped
     end_slack: int = 24             # extra consensus window at segment ends
+    #: Mapper kernel executing this configuration ("auto" resolves through
+    #: $SAGE_MAPPER to the registry default; see :mod:`repro.mapping.batch`).
+    #: Every kernel produces byte-identical mappings.
+    kernel: str = "auto"
 
 
 class ReadMapper:
     """Maps reads to a consensus sequence, producing lossless edit scripts."""
 
     def __init__(self, consensus: np.ndarray,
-                 config: MapperConfig | None = None):
+                 config: MapperConfig | None = None,
+                 index: KmerIndex | None = None):
+        """Map against ``consensus``.
+
+        ``index`` optionally supplies a prebuilt :class:`KmerIndex` over
+        the same consensus, so one index can be shared across mappers
+        (and across block-compressor workers).  An index whose ``k`` or
+        ``max_occurrences`` disagrees with ``config`` is ignored and a
+        matching one is built instead.
+        """
         self.consensus = np.asarray(consensus, dtype=np.uint8)
         self.config = config or MapperConfig()
-        self.index = KmerIndex(self.consensus, k=self.config.k,
-                               max_occurrences=self.config.max_occurrences)
+        if (index is None or index.k != self.config.k
+                or index.max_occurrences != self.config.max_occurrences):
+            index = KmerIndex(self.consensus, k=self.config.k,
+                              max_occurrences=self.config.max_occurrences)
+        self.index = index
 
     # ------------------------------------------------------------------
     # Public API
     # ------------------------------------------------------------------
+
+    def map_batch(self, reads) -> list[MappingResult]:
+        """Map a block of reads; the scalar reference maps one at a time.
+
+        :class:`~repro.mapping.batch.BatchReadMapper` overrides this with
+        the vectorized structure-of-arrays implementation; results are
+        byte-identical by contract.
+        """
+        return [self.map_read(codes) for codes in reads]
 
     def map_read(self, codes: np.ndarray) -> MappingResult:
         """Map one read; always returns a result (possibly unmapped)."""

@@ -326,3 +326,57 @@ class TestInspectFormatVersion:
         info = json.loads(capsys.readouterr().out)
         assert info["format_version"] == 2
         assert info["options"]["block_reads"] == 0
+
+
+class TestBenchEncode:
+    def test_encode_json_reports_mapper_rows(self, workdir, capsys):
+        import json
+        assert main(["bench", str(workdir / "reads.fastq"),
+                     "--consensus", str(workdir / "ref.txt"),
+                     "--encode", "--repeat", "1", "--codec", "numpy",
+                     "--json"]) == 0
+        info = json.loads(capsys.readouterr().out)
+        assert info["mapper_archives_byte_identical"] is True
+        mappers = info["mappers"]
+        assert set(mappers) == {"python", "numpy"}
+        for row in mappers.values():
+            assert row["encode_mb_s"] > 0
+        numpy_row = mappers["numpy"]
+        for key in ("candidates_per_read", "filter_reject_pct",
+                    "false_accept_pct", "fast_path_pct", "dp_cells"):
+            assert key in numpy_row
+
+    def test_mapper_flag_restricts_rows(self, workdir, capsys):
+        import json
+        assert main(["bench", str(workdir / "reads.fastq"),
+                     "--consensus", str(workdir / "ref.txt"),
+                     "--encode", "--repeat", "1", "--codec", "numpy",
+                     "--mapper", "numpy", "--json"]) == 0
+        info = json.loads(capsys.readouterr().out)
+        assert list(info["mappers"]) == ["numpy"]
+
+    def test_without_encode_no_mapper_section(self, workdir, capsys):
+        import json
+        assert main(["bench", str(workdir / "reads.fastq"),
+                     "--consensus", str(workdir / "ref.txt"),
+                     "--repeat", "1", "--codec", "numpy",
+                     "--json"]) == 0
+        info = json.loads(capsys.readouterr().out)
+        assert "mappers" not in info
+
+    def test_compress_mapper_flag(self, workdir, capsys):
+        out_py = workdir / "m_py.sage"
+        out_np = workdir / "m_np.sage"
+        assert main(["compress", str(workdir / "reads.fastq"),
+                     str(workdir / "ref.txt"), str(out_py),
+                     "--mapper", "python"]) == 0
+        assert main(["compress", str(workdir / "reads.fastq"),
+                     str(workdir / "ref.txt"), str(out_np),
+                     "--mapper", "numpy"]) == 0
+        assert out_py.read_bytes() == out_np.read_bytes()
+
+    def test_unknown_mapper_exits(self, workdir):
+        with pytest.raises(SystemExit):
+            main(["compress", str(workdir / "reads.fastq"),
+                  str(workdir / "ref.txt"), str(workdir / "x.sage"),
+                  "--mapper", "simd"])
