@@ -16,14 +16,19 @@ compressor/decompressor/executor plumbing themselves.
 """
 
 from .._compat import reset_deprecation_warnings
-from .dataset import Pipeline, SAGeDataset, SourceTotals
-from .options import EngineOptions, resolve_stream_options
+from ..core.errors import (BlockDecodeError, CorruptArchiveError,
+                           SAGeError, TruncatedArchiveError)
+from .dataset import (Pipeline, SAGeDataset, SalvageReport, SourceTotals,
+                      VerifyReport, atomic_write_bytes)
+from .options import ON_ERROR, EngineOptions, resolve_stream_options
 from .sinks import (CallableSink, available_sinks, make_sink,
                     register_sink, unregister_sink)
 
 __all__ = [
-    "CallableSink", "EngineOptions", "Pipeline", "SAGeDataset",
-    "SourceTotals", "available_sinks", "make_sink", "register_sink",
-    "reset_deprecation_warnings", "resolve_stream_options",
-    "unregister_sink",
+    "BlockDecodeError", "CallableSink", "CorruptArchiveError",
+    "EngineOptions", "ON_ERROR", "Pipeline", "SAGeDataset", "SAGeError",
+    "SalvageReport", "SourceTotals", "TruncatedArchiveError",
+    "VerifyReport", "atomic_write_bytes", "available_sinks", "make_sink",
+    "register_sink", "reset_deprecation_warnings",
+    "resolve_stream_options", "unregister_sink",
 ]

@@ -28,7 +28,8 @@ byte-identical to the legacy call paths, which now forward here.
 
 from __future__ import annotations
 
-from dataclasses import dataclass
+import os
+from dataclasses import dataclass, field
 from pathlib import Path
 from typing import Iterable, Iterator
 
@@ -38,15 +39,17 @@ from ..core.blocks import BlockCompressor
 from ..core.compressor import SAGeCompressor, SAGeConfig
 from ..core.container import SAGeArchive
 from ..core.decompressor import SAGeDecompressor
+from ..core.errors import SAGeError
 from ..genomics import fastq
 from ..genomics import sequence as seqmod
 from ..genomics.reads import Read, ReadSet
-from ..pipeline.executor import ExecutorStats, FastqSink, Sink, \
-    StreamExecutor
+from ..pipeline.executor import BlockGap, CollectSink, ExecutorStats, \
+    FastqSink, Sink, StreamExecutor
 from .options import EngineOptions
 from .sinks import resolve_sink
 
-__all__ = ["Pipeline", "SAGeDataset", "SourceTotals"]
+__all__ = ["Pipeline", "SAGeDataset", "SalvageReport", "SourceTotals",
+           "VerifyReport", "atomic_write_bytes"]
 
 
 @dataclass(frozen=True)
@@ -56,6 +59,108 @@ class SourceTotals:
     reads: int
     bases: int
     fastq_bytes: int
+
+
+def atomic_write_bytes(path: str | Path, blob: bytes) -> int:
+    """Write ``blob`` to ``path`` atomically; returns the byte count.
+
+    The bytes land in a same-directory temp file, are fsynced, and the
+    temp file is :func:`os.replace`-d over the target — an interrupted
+    write leaves either the old file or the new one, never a half
+    archive.  The temp file is removed on failure.
+    """
+    path = Path(path)
+    tmp = path.with_name(f".{path.name}.tmp.{os.getpid()}")
+    try:
+        with open(tmp, "wb") as handle:
+            handle.write(blob)
+            handle.flush()
+            os.fsync(handle.fileno())
+        os.replace(tmp, path)
+    except BaseException:
+        try:
+            os.unlink(tmp)
+        except OSError:
+            pass
+        raise
+    return len(blob)
+
+
+@dataclass(frozen=True)
+class VerifyReport:
+    """Outcome of :meth:`SAGeDataset.verify`.
+
+    ``header``/``consensus`` and each ``blocks[i]`` entry are one of
+    ``"ok"``, ``"failed"``, or ``"unchecked"`` (pre-v4 layouts carry no
+    digests).  ``deep`` marks whether every block was additionally
+    fully decoded; decode failures land in ``errors`` keyed by block
+    index.
+    """
+
+    format_version: int
+    header: str
+    consensus: str
+    blocks: tuple[str, ...]
+    deep: bool = False
+    errors: dict = field(default_factory=dict)
+
+    @property
+    def status(self) -> str:
+        """Archive-level rollup: ``ok`` / ``failed`` / ``unchecked``."""
+        statuses = {self.header, self.consensus, *self.blocks}
+        if "failed" in statuses or self.errors:
+            return "failed"
+        if statuses == {"ok"}:
+            return "ok"
+        return "unchecked"
+
+    @property
+    def ok(self) -> bool:
+        return self.status != "failed"
+
+    def to_dict(self) -> dict:
+        return {"format_version": self.format_version,
+                "status": self.status, "header": self.header,
+                "consensus": self.consensus, "blocks": list(self.blocks),
+                "deep": self.deep,
+                "errors": {str(k): str(v)
+                           for k, v in sorted(self.errors.items())}}
+
+
+@dataclass(frozen=True)
+class SalvageReport:
+    """Outcome of :meth:`SAGeDataset.salvage`.
+
+    ``read_set`` holds every read recovered from intact blocks, in
+    index order; ``gaps`` the :class:`BlockGap` of each lost block.
+    """
+
+    read_set: ReadSet
+    n_blocks: int
+    blocks_recovered: int
+    gaps: tuple[BlockGap, ...]
+
+    @property
+    def blocks_lost(self) -> int:
+        return len(self.gaps)
+
+    @property
+    def reads_lost(self) -> int:
+        return sum(gap.n_reads for gap in self.gaps)
+
+    @property
+    def recovery_rate(self) -> float:
+        return self.blocks_recovered / max(1, self.n_blocks)
+
+    def to_dict(self) -> dict:
+        return {"n_blocks": self.n_blocks,
+                "blocks_recovered": self.blocks_recovered,
+                "blocks_lost": self.blocks_lost,
+                "reads_recovered": len(self.read_set),
+                "reads_lost": self.reads_lost,
+                "recovery_rate": self.recovery_rate,
+                "gaps": [{"block": gap.index, "n_reads": gap.n_reads,
+                          "error": gap.message} for gap in self.gaps]}
 
 
 def _totals_of(read_set: ReadSet) -> SourceTotals:
@@ -227,7 +332,7 @@ class SAGeDataset:
 
     @property
     def format_version(self) -> int:
-        """Container version the archive was loaded from (2 or 3)."""
+        """Container version the archive was loaded from (2, 3 or 4)."""
         return self._archive.source_version
 
     @property
@@ -248,19 +353,88 @@ class SAGeDataset:
     # ------------------------------------------------------------------
 
     def to_bytes(self, *, version: int | None = None) -> bytes:
-        """Serialize the archive (default: the v3 blocked container)."""
+        """Serialize the archive.
+
+        ``version`` picks the container layout explicitly; ``None``
+        defers to ``options.format_version`` (``0`` = preserve a loaded
+        archive's version, write the checksummed v4 for newly built
+        archives).
+        """
         if version is None:
-            return self._archive.to_bytes()
+            version = self.options.format_version or None
         return self._archive.to_bytes(version)
 
     def save(self, path: str | Path, *,
              version: int | None = None) -> int:
-        """Write the archive to ``path``; returns the byte count."""
+        """Write the archive to ``path`` atomically; returns the byte
+        count.
+
+        The blob goes through :func:`atomic_write_bytes` — same-dir
+        temp file, fsync, then :func:`os.replace` — so a crash mid-save
+        never leaves a half archive behind.
+        """
         self._require_open()
         blob = self.to_bytes(version=version)
-        Path(path).write_bytes(blob)
+        atomic_write_bytes(path, blob)
         self.path = Path(path)
         return len(blob)
+
+    # ------------------------------------------------------------------
+    # Integrity
+    # ------------------------------------------------------------------
+
+    def verify(self, *, deep: bool = False) -> VerifyReport:
+        """Check the archive's integrity digests (and optionally decode).
+
+        The checksum walk never raises on damage — every mismatch is
+        localized in the returned :class:`VerifyReport`.  Pre-v4
+        archives carry no digests and report ``"unchecked"``.
+        ``deep=True`` additionally decodes every block with the session
+        codec, catching damage a digest cannot see (or that pre-v4
+        layouts cannot detect); decode failures land in
+        ``report.errors`` keyed by block index.
+        """
+        self._require_open()
+        digests = self._archive.verify_checksums()
+        errors: dict[int, Exception] = {}
+        blocks = list(digests["blocks"])
+        if deep:
+            decoder = self.decompressor()
+            for index in range(self._archive.n_blocks):
+                try:
+                    decoder.decompress_block(index)
+                except SAGeError as exc:
+                    errors[index] = exc
+                    blocks[index] = "failed"
+                else:
+                    # A successful full decode verifies the block even
+                    # when the layout carries no digest (pre-v4).
+                    blocks[index] = "ok"
+        return VerifyReport(format_version=self.format_version,
+                            header=digests["header"],
+                            consensus=digests["consensus"],
+                            blocks=tuple(blocks), deep=deep,
+                            errors=errors)
+
+    def salvage(self, *, options: EngineOptions | None = None
+                ) -> SalvageReport:
+        """Recover every intact block from a (possibly damaged) archive.
+
+        Runs a streaming decode under ``on_error="salvage"``: each
+        failing block is retried (last attempt on the ``python``
+        reference kernel) and, if unrecoverable, recorded as a
+        :class:`BlockGap` instead of killing the stream.  Returns the
+        recovered reads plus per-block loss accounting.
+        """
+        self._require_open()
+        options = (options or self.options).replace(on_error="salvage")
+        executor = self._make_executor(options)
+        sink = CollectSink()
+        [read_set] = executor.run(sink)
+        return SalvageReport(
+            read_set=read_set, n_blocks=self._archive.n_blocks,
+            blocks_recovered=executor.stats.blocks,
+            gaps=tuple(executor.stats.gaps))
 
     # ------------------------------------------------------------------
     # Streaming decode

@@ -22,7 +22,10 @@ from ..core.kernels import available_kernels
 from ..core.mismatch import OptLevel
 from ..mapping.batch import available_mappers
 
-__all__ = ["EngineOptions", "resolve_stream_options"]
+__all__ = ["EngineOptions", "ON_ERROR", "resolve_stream_options"]
+
+#: Recognized streaming-decode failure policies.
+ON_ERROR = ("raise", "skip", "salvage")
 
 
 @dataclass(frozen=True)
@@ -68,6 +71,26 @@ class EngineOptions:
         filter).  ``auto`` resolves through ``$SAGE_MAPPER`` to the
         registry default.  Archives are byte-identical across mappers —
         like ``codec``, a pure-speed knob.
+    on_error:
+        Streaming-decode failure policy, one of :data:`ON_ERROR`.
+        ``"raise"`` (default) propagates the first block failure;
+        ``"skip"`` drops failed blocks and records a
+        :class:`~repro.pipeline.executor.BlockGap`; ``"salvage"``
+        additionally re-decodes each failed block with the ``python``
+        reference kernel before giving up, recovering every block the
+        damage did not actually touch.
+    block_retries:
+        Serial in-parent re-decode attempts for a block that failed in
+        a worker pool (rescues worker crashes / broken pools /
+        timeouts) before the ``on_error`` policy applies.
+    block_timeout:
+        Per-block decode timeout in seconds for pooled backends
+        (``None`` = no limit; the serial backend cannot time out).
+    format_version:
+        Container version ``SAGeDataset.save``/``to_bytes`` write:
+        ``4`` (checksummed), ``3`` (pre-checksum layout), or ``0`` =
+        auto (preserve a loaded archive's version; write 4 for newly
+        built archives).
     """
 
     workers: int = 1
@@ -79,6 +102,10 @@ class EngineOptions:
     with_quality: bool = True
     codec: str = "auto"
     mapper: str = "auto"
+    on_error: str = "raise"
+    block_retries: int = 1
+    block_timeout: float | None = None
+    format_version: int = 0
 
     def __post_init__(self) -> None:
         if isinstance(self.level, str):
@@ -114,6 +141,20 @@ class EngineOptions:
             raise ValueError(
                 f"unknown mapper {self.mapper!r}; expected 'auto' or one "
                 f"of {available_mappers()}")
+        if self.on_error not in ON_ERROR:
+            raise ValueError(f"unknown on_error {self.on_error!r}; "
+                             f"expected one of {ON_ERROR}")
+        if self.block_retries < 0:
+            raise ValueError(f"block_retries must be >= 0, "
+                             f"got {self.block_retries!r}")
+        if self.block_timeout is not None and self.block_timeout <= 0:
+            raise ValueError(
+                f"block_timeout must be > 0 seconds (or None for no "
+                f"limit), got {self.block_timeout!r}")
+        if self.format_version not in (0, 3, 4):
+            raise ValueError(
+                f"format_version must be 0 (auto), 3, or 4, "
+                f"got {self.format_version!r}")
 
     # ------------------------------------------------------------------
     # Derived views
@@ -180,6 +221,10 @@ class EngineOptions:
             "with_quality": self.with_quality,
             "codec": self.codec,
             "mapper": self.mapper,
+            "on_error": self.on_error,
+            "block_retries": self.block_retries,
+            "block_timeout": self.block_timeout,
+            "format_version": self.format_version,
         }
 
 

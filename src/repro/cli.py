@@ -11,6 +11,8 @@ Subcommands::
     sage analyze    input.sage [--workers N] [--sink NAME ...]
                     [--mapping-rate] [--json] [--codec NAME]
     sage inspect    input.sage [--json]
+    sage verify     input.sage [--deep] [--json] [--workers N]
+    sage salvage    input.sage output.fastq [--workers N] [--json]
     sage bench      input.{sage,fastq} [--consensus ref.txt]
                     [--codec NAME ...] [--encode] [--mapper NAME ...]
                     [--repeat R] [--json]
@@ -52,7 +54,7 @@ import sys
 from pathlib import Path
 
 from .api import EngineOptions, SAGeDataset, available_sinks
-from .core import OptLevel, SAGeArchive
+from .core import OptLevel, SAGeArchive, SAGeError
 from .core.container import STREAM_NAMES
 from .core.kernels import available_kernels, resolve_codec
 from .mapping import batch as mapper_batch
@@ -75,7 +77,8 @@ def _cmd_compress(args: argparse.Namespace) -> int:
                               level=args.level,
                               with_quality=not args.no_quality,
                               codec=args.codec,
-                              mapper=args.mapper)
+                              mapper=args.mapper,
+                              format_version=args.format_version)
     dataset = SAGeDataset.from_fastq(args.input,
                                      reference=args.consensus,
                                      options=options)
@@ -247,6 +250,7 @@ def _block_info(archive: SAGeArchive, index: int, entry) -> dict:
         "n_unmapped": entry.n_unmapped,
         "bytes": entry.nbytes,
         "offset": entry.offset,
+        "crc32": entry.crc32,
         "sections": {
             "meta_bytes": blk.meta_nbytes(),
             "stream_bytes": sum(len(payload)
@@ -261,15 +265,56 @@ def _block_info(archive: SAGeArchive, index: int, entry) -> dict:
     }
 
 
+def _safe_block_info(archive: SAGeArchive, index: int, entry) -> dict:
+    """Like :func:`_block_info`, but a damaged block reports its error
+    instead of killing the whole ``inspect``."""
+    try:
+        return _block_info(archive, index, entry)
+    except SAGeError as exc:
+        return {"index": index, "n_reads": entry.n_reads,
+                "bytes": entry.nbytes, "offset": entry.offset,
+                "crc32": entry.crc32, "error": str(exc)}
+
+
+def _integrity_summary(archive: SAGeArchive) -> str:
+    """Archive-level checksum rollup: ``ok`` / ``unchecked`` / ``failed``."""
+    digests = archive.verify_checksums()
+    statuses = {digests["header"], digests["consensus"],
+                *digests["blocks"]}
+    if "failed" in statuses:
+        return "failed"
+    return "ok" if statuses == {"ok"} else "unchecked"
+
+
 def _archive_info(archive: SAGeArchive) -> dict:
     """Machine-readable archive metadata (``inspect --json``)."""
     index = archive.block_index()
-    streams = {name: archive.stream_bits(name) for name in STREAM_NAMES}
-    first = archive.block(0)
+    streams = {}
+    for name in STREAM_NAMES:
+        try:
+            streams[name] = archive.stream_bits(name)
+        except SAGeError:
+            streams[name] = None    # a damaged block breaks the sum
+    try:
+        byte_size = archive.byte_size()
+        dna_byte_size = archive.dna_byte_size()
+    except SAGeError:
+        byte_size = dna_byte_size = None
+    try:
+        first = archive.block(0)
+    except SAGeError:
+        first = None     # block 0 is damaged; metadata degrades below
+    try:
+        options_echo = EngineOptions.from_archive(archive).to_dict()
+    except SAGeError:
+        options_echo = None
     info = {
         "version": archive.source_version,
         "format_version": archive.source_version,
-        "options": EngineOptions.from_archive(archive).to_dict(),
+        "integrity": _integrity_summary(archive),
+        "header_crc32": archive.header_crc32(),
+        "consensus_crc32": archive.consensus_crc32(),
+        "options": options_echo,
         "level": archive.level.name,
         "n_reads": archive.n_reads,
         "n_mapped": archive.n_mapped,
@@ -279,17 +324,17 @@ def _archive_info(archive: SAGeArchive) -> dict:
         "fixed_read_length": archive.fixed_read_length
         if archive.fixed_length else None,
         "preserve_order": archive.preserve_order,
-        "quality": first.quality is not None,
-        "headers": first.headers_blob is not None,
+        "quality": first.quality is not None if first else None,
+        "headers": first.headers_blob is not None if first else None,
         "block_reads": archive.block_reads,
         "n_blocks": archive.n_blocks,
-        "blocks": [_block_info(archive, i, e)
+        "blocks": [_safe_block_info(archive, i, e)
                    for i, e in enumerate(index)],
         "stream_bits": {name: bits for name, bits in sorted(streams.items())},
         "tables": {key: list(table.widths)
-                   for key, table in first.tables.items()},
-        "byte_size": archive.byte_size(),
-        "dna_byte_size": archive.dna_byte_size(),
+                   for key, table in first.tables.items()} if first else None,
+        "byte_size": byte_size,
+        "dna_byte_size": dna_byte_size,
     }
     if archive.breakdown.bits:
         info["breakdown_bits"] = dict(archive.breakdown.bits)
@@ -306,12 +351,17 @@ def _cmd_inspect(args: argparse.Namespace) -> int:
         print(f"level: {archive.level.name}")
         print(f"container: v{dataset.format_version}, "
               f"{archive.n_blocks} block(s)")
+        print(f"integrity: {_integrity_summary(archive)}")
         print(f"reads: {archive.n_mapped} mapped, "
               f"{archive.n_unmapped} unmapped")
         print(f"consensus: {archive.consensus_length} bases")
         print(f"fixed read length: "
               f"{archive.fixed_read_length or 'variable'}")
-        print(f"quality: {'yes' if archive.block(0).quality else 'no'}")
+        try:
+            print(f"quality: "
+                  f"{'yes' if archive.block(0).quality else 'no'}")
+        except SAGeError:
+            print("quality: unknown (block 0 is damaged)")
         if archive.is_blocked:
             for i, entry in enumerate(archive.block_index()):
                 print(f"  block {i:<4} {entry.n_reads:>8} reads "
@@ -320,9 +370,60 @@ def _cmd_inspect(args: argparse.Namespace) -> int:
                            else ["consensus"]):
             print(f"  stream {name:<10} "
                   f"{archive.stream_bits(name):>12} bits")
-        for key, table in archive.block(0).tables.items():
-            print(f"  table  {key:<10} widths {table.widths}")
+        try:
+            for key, table in archive.block(0).tables.items():
+                print(f"  table  {key:<10} widths {table.widths}")
+        except SAGeError:
+            pass                   # tables live in the damaged block 0
     return 0
+
+
+def _cmd_verify(args: argparse.Namespace) -> int:
+    """Checksum walk (and optional full decode) over an archive."""
+    options = _engine_options(workers=args.workers, codec=args.codec)
+    with SAGeDataset.open(args.input, options=options) as dataset:
+        report = dataset.verify(deep=args.deep)
+    if args.json:
+        info = report.to_dict()
+        info["input"] = args.input
+        print(json.dumps(info, indent=2, sort_keys=True))
+        return 0 if report.ok else 1
+    n_failed = sum(1 for s in report.blocks if s == "failed")
+    print(f"{args.input}: v{report.format_version}, "
+          f"{len(report.blocks)} block(s), "
+          f"integrity {report.status}"
+          f"{' (deep decode)' if report.deep else ''}")
+    if report.header != "ok":
+        print(f"  header: {report.header}")
+    if report.consensus != "ok":
+        print(f"  consensus: {report.consensus}")
+    if n_failed:
+        for index, status in enumerate(report.blocks):
+            if status == "failed":
+                detail = report.errors.get(index)
+                print(f"  block {index}: failed"
+                      + (f" ({detail})" if detail else ""))
+    return 0 if report.ok else 1
+
+
+def _cmd_salvage(args: argparse.Namespace) -> int:
+    """Recover every intact block of a damaged archive to FASTQ."""
+    options = _engine_options(workers=args.workers, codec=args.codec)
+    with SAGeDataset.open(args.input, options=options) as dataset:
+        report = dataset.salvage()
+    fastq.write_file(report.read_set, args.output)
+    if args.json:
+        info = report.to_dict()
+        info.update(input=args.input, output=args.output)
+        print(json.dumps(info, indent=2, sort_keys=True))
+    else:
+        print(f"{args.input}: recovered {report.blocks_recovered}/"
+              f"{report.n_blocks} blocks "
+              f"({len(report.read_set)} reads) -> {args.output}")
+        for gap in report.gaps:
+            print(f"  lost block {gap.index} ({gap.n_reads} reads): "
+                  f"{gap.message}")
+    return 0 if not report.gaps else 1
 
 
 def _bench_load(args: argparse.Namespace):
@@ -517,6 +618,10 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--block-reads", type=int, default=0,
                    help="reads per independently decodable block "
                         "(0 = single-block archive)")
+    p.add_argument("--format-version", type=int, default=0,
+                   choices=[0, 3, 4],
+                   help="container version to write (4 = checksummed, "
+                        "3 = pre-checksum layout, 0 = auto)")
     _add_codec_flag(p)
     _add_mapper_flag(p)
     p.set_defaults(func=_cmd_compress)
@@ -565,8 +670,36 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("input")
     p.add_argument("--json", action="store_true",
                    help="emit machine-readable JSON metadata "
-                        "(includes format_version and an options echo)")
+                        "(includes format_version, checksums, an "
+                        "integrity summary and an options echo)")
     p.set_defaults(func=_cmd_inspect)
+
+    p = sub.add_parser("verify",
+                       help="walk an archive's integrity checksums "
+                            "(exit 1 on damage)")
+    p.add_argument("input")
+    p.add_argument("--deep", action="store_true",
+                   help="additionally decode every block (catches "
+                        "damage pre-v4 layouts cannot checksum)")
+    p.add_argument("--workers", type=int, default=1,
+                   help="worker processes for the deep decode pass")
+    p.add_argument("--json", action="store_true",
+                   help="emit machine-readable JSON")
+    _add_codec_flag(p)
+    p.set_defaults(func=_cmd_verify)
+
+    p = sub.add_parser("salvage",
+                       help="recover every intact block of a damaged "
+                            "archive to FASTQ (exit 1 if blocks were "
+                            "lost)")
+    p.add_argument("input")
+    p.add_argument("output")
+    p.add_argument("--workers", type=int, default=1,
+                   help="worker processes for parallel block decode")
+    p.add_argument("--json", action="store_true",
+                   help="emit machine-readable JSON")
+    _add_codec_flag(p)
+    p.set_defaults(func=_cmd_salvage)
 
     p = sub.add_parser("bench",
                        help="measure codec kernel encode/decode MB/s")
@@ -615,6 +748,12 @@ def main(argv: list[str] | None = None) -> int:
     except BrokenPipeError:
         # Output piped into a pager/head that closed early: not an error.
         return 0
+    except SAGeError as exc:
+        # A malformed/corrupt archive is an input problem, not a crash:
+        # report the typed error (block/stream/offset context included)
+        # without a traceback.
+        print(f"sage: {type(exc).__name__}: {exc}", file=sys.stderr)
+        return 1
 
 
 if __name__ == "__main__":

@@ -1,6 +1,7 @@
 """SAGe core: the paper's compression/decompression contribution (§5)."""
 
-from . import bitio, blocks, formats, kernels, prefix_codes, quality, tuning
+from . import bitio, blocks, errors, formats, kernels, prefix_codes, \
+    quality, tuning
 from .blocks import (BACKENDS, DEFAULT_BLOCK_READS, INFLIGHT_PER_WORKER,
                      BlockCompressor, compress_blocked, imap_bounded,
                      partition_reads)
@@ -8,6 +9,8 @@ from .compressor import CompressionError, SAGeCompressor, SAGeConfig, compress
 from .container import (BlockIndexEntry, ContainerError, SAGeArchive,
                         SAGeBlock)
 from .decompressor import DecompressionError, SAGeDecompressor, decompress
+from .errors import (BlockDecodeError, CorruptArchiveError, SAGeError,
+                     TruncatedArchiveError)
 from .formats import OutputFormat
 from .kernels import (CodecKernel, available_kernels, get_kernel,
                       register_kernel, resolve_codec)
@@ -16,8 +19,10 @@ from .prefix_codes import AssociationTable
 from .tuning import TuningResult, bit_count_histogram, tune, tune_values
 
 __all__ = [
-    "bitio", "blocks", "formats", "kernels", "prefix_codes", "quality",
-    "tuning",
+    "bitio", "blocks", "errors", "formats", "kernels", "prefix_codes",
+    "quality", "tuning",
+    "BlockDecodeError", "CorruptArchiveError", "SAGeError",
+    "TruncatedArchiveError",
     "BACKENDS", "DEFAULT_BLOCK_READS", "INFLIGHT_PER_WORKER",
     "BlockCompressor",
     "compress_blocked", "imap_bounded",

@@ -14,8 +14,10 @@ consume byte-identical streams.
 
 from __future__ import annotations
 
+from .errors import SAGeError
 
-class BitIOError(ValueError):
+
+class BitIOError(SAGeError):
     """Raised on invalid bit-level reads or writes."""
 
 

@@ -149,8 +149,10 @@ def _resolve_compress_options(options, *, block_reads: int | None,
 
 def imap_bounded(executor: Executor, fn: Callable, items: Iterable,
                  window: int,
-                 depth_probe: Callable[[int], None] | None = None
-                 ) -> Iterator:
+                 depth_probe: Callable[[int], None] | None = None,
+                 timeout: float | None = None,
+                 failure: Callable[[int, BaseException], object] | None
+                 = None) -> Iterator:
     """``executor.map`` with a bounded number of in-flight futures.
 
     Preserves submission order, so merged results are independent of
@@ -158,17 +160,39 @@ def imap_bounded(executor: Executor, fn: Callable, items: Iterable,
     streaming source is never materialized.  ``depth_probe`` (if given)
     is called with the in-flight queue depth after every submission; the
     streaming decode executor uses it to record peak queue depth.
+
+    ``timeout`` bounds the wait for each future (seconds); a slot that
+    does not finish in time fails with
+    :class:`concurrent.futures.TimeoutError`.  ``failure`` (if given)
+    is called with ``(index, exception)`` when a slot fails — whether by
+    raising or by timeout — and its return value is yielded in place of
+    the lost result, so one bad item cannot kill the whole stream.
+    Without it, the exception propagates (historical behaviour).
     """
     pending: deque = deque()
-    iterator = iter(items)
-    for item in iterator:
+    yielded = 0
+
+    def drain_one():
+        nonlocal yielded
+        future = pending.popleft()
+        index = yielded
+        yielded += 1
+        try:
+            return future.result(timeout)
+        except Exception as exc:
+            if failure is None:
+                raise
+            future.cancel()
+            return failure(index, exc)
+
+    for item in items:
         pending.append(executor.submit(fn, item))
         if depth_probe is not None:
             depth_probe(len(pending))
         if len(pending) >= window:
-            yield pending.popleft().result()
+            yield drain_one()
     while pending:
-        yield pending.popleft().result()
+        yield drain_one()
 
 
 class BlockCompressor:

@@ -11,20 +11,26 @@ be decoded in O(1) seek time without touching the others — exactly the
 property the hardware exploits to stripe independent archive sections
 across SSD channels (§5.3–5.4).
 
-Version 2 blobs (the previous monolithic layout) are still read by
-:meth:`SAGeArchive.from_bytes`, and :meth:`SAGeArchive.to_bytes` can
-emit them for flat archives via ``version=2``.
+The **version 4** layout is v3 plus end-to-end integrity digests: a
+CRC32 over the global header, a CRC32 over the consensus payload, and a
+CRC32 per block payload carried in the block index — so a flipped bit
+anywhere is *detected* and *localized* to one block instead of decoding
+into silent garbage.  Version 2 (the monolithic pre-block layout) and
+version 3 blobs are still read by :meth:`SAGeArchive.from_bytes`, and
+:meth:`SAGeArchive.to_bytes` re-emits any still-supported version;
+re-serializing a loaded archive preserves its version byte-identically.
 
-Byte layout (v3)::
+Byte layout (v4; v3 is the same without the ``crc`` fields)::
 
     +--------------------------------------------------------------+
     | global header: magic, version, level, flags, totals,         |
     |                consensus length, bit widths, n_blocks,       |
-    |                block_reads                                   |
+    |                block_reads, header crc32                     |
     +--------------------------------------------------------------+
-    | consensus stream (2-bit packed, stored once)                 |
+    | consensus stream (2-bit packed, stored once) + crc32         |
     +--------------------------------------------------------------+
-    | block index: n_blocks x (n_mapped, n_unmapped, payload size) |
+    | block index: n_blocks x (n_mapped, n_unmapped, payload size, |
+    |                          payload crc32)                      |
     +--------------------------------------------------------------+
     | block payload 0 | block payload 1 | ... | block payload N-1  |
     +--------------------------------------------------------------+
@@ -36,17 +42,25 @@ and header blobs for that block's reads.
 
 from __future__ import annotations
 
+import zlib
 from dataclasses import dataclass, field
 
 import numpy as np
 
 from . import quality as quality_codec
-from .bitio import BitReader, BitWriter
+from .bitio import BitIOError, BitReader, BitWriter
+from .errors import (ContainerError, CorruptArchiveError, SAGeError,
+                     TruncatedArchiveError)
 from .mismatch import OptLevel, SizeBreakdown
 from .prefix_codes import AssociationTable
 
 MAGIC = 0x53414745  # "SAGE"
-VERSION = 3
+
+#: Current (checksummed) layout and the default write version.
+VERSION = 4
+
+#: Block-based layout without integrity digests, still fully supported.
+V3_VERSION = 3
 
 #: Legacy monolithic layout, still readable (and writable on demand).
 V2_VERSION = 2
@@ -62,22 +76,32 @@ BLOCK_STREAM_NAMES = STREAM_NAMES[1:]
 #: Table identifiers in serialization order.
 _TABLE_ORDER = ("mp", "count", "mmp", "len", "indel")
 
-#: Bits per v3 block-index entry (n_mapped 40 + n_unmapped 40 + size 32).
+#: Bits per v3 block-index entry (n_mapped 40 + n_unmapped 40 + size 32);
+#: v4 appends a 32-bit payload CRC.
 _INDEX_ENTRY_BITS = 112
 
 
-class ContainerError(ValueError):
-    """Raised on malformed archives."""
+def _index_entry_bits(version: int) -> int:
+    return _INDEX_ENTRY_BITS + 32 if version >= VERSION \
+        else _INDEX_ENTRY_BITS
+
+
+def _checksum(payload: bytes) -> int:
+    """The container's integrity digest (CRC32 as an unsigned 32-bit)."""
+    return zlib.crc32(payload) & 0xFFFFFFFF
 
 
 @dataclass(frozen=True)
 class BlockIndexEntry:
-    """One entry of the v3 top-level block index."""
+    """One entry of the v3/v4 top-level block index."""
 
     n_mapped: int
     n_unmapped: int
     nbytes: int            # serialized payload length
-    offset: int            # payload byte offset within the v3 blob
+    offset: int            # payload byte offset within the blocked blob
+    #: CRC32 of the serialized payload (``None`` for v3 archives, which
+    #: carry no digests).
+    crc32: int | None = None
 
     @property
     def n_reads(self) -> int:
@@ -160,7 +184,22 @@ class SAGeBlock:
 
     @classmethod
     def deserialize(cls, payload: bytes) -> "SAGeBlock":
-        """Parse one block payload written by :meth:`serialize`."""
+        """Parse one block payload written by :meth:`serialize`.
+
+        Malformed payloads fail with a typed :class:`SAGeError`
+        (:class:`CorruptArchiveError` unless a more specific subclass
+        applies) — never a bare ``IndexError``/``KeyError``.
+        """
+        try:
+            return cls._deserialize(payload)
+        except SAGeError:
+            raise
+        except Exception as exc:
+            raise CorruptArchiveError(
+                f"malformed block payload ({exc})") from exc
+
+    @classmethod
+    def _deserialize(cls, payload: bytes) -> "SAGeBlock":
         reader = BitReader(payload)
         long_reads = bool(reader.read_bit())
         fixed_length = bool(reader.read_bit())
@@ -319,11 +358,38 @@ class SAGeArchive:
             entry = self.block_index()[index]
             if self._source_blob is None:
                 raise ContainerError(f"block {index} has no payload")
-            payload = self._source_blob[entry.offset:
-                                        entry.offset + entry.nbytes]
-            parsed = SAGeBlock.deserialize(payload)
+            payload = self._checked_payload(index, entry)
+            try:
+                parsed = SAGeBlock.deserialize(payload)
+            except CorruptArchiveError as exc:
+                raise CorruptArchiveError(
+                    str(exc.message), block_index=index, stream=exc.stream,
+                    offset=exc.offset if exc.offset is not None
+                    else entry.offset) from exc
             self.blocks[index] = parsed
         return parsed
+
+    def _checked_payload(self, index: int,
+                         entry: BlockIndexEntry) -> bytes:
+        """Slice block ``index``'s payload from the blob, digest-checked.
+
+        The single decode-time integrity gate of v4 archives: any
+        payload whose stored CRC32 does not match raises
+        :class:`CorruptArchiveError` naming the block and offset, before
+        a single stream bit is parsed.
+        """
+        payload = self._source_blob[entry.offset:
+                                    entry.offset + entry.nbytes]
+        if len(payload) != entry.nbytes:
+            raise TruncatedArchiveError(
+                "block payload truncated", block_index=index,
+                offset=entry.offset, expected=entry.nbytes,
+                actual=len(payload))
+        if entry.crc32 is not None and _checksum(payload) != entry.crc32:
+            raise CorruptArchiveError(
+                "block payload checksum mismatch", block_index=index,
+                offset=entry.offset)
+        return payload
 
     def block_view(self, index: int) -> "SAGeArchive":
         """A flat single-section archive exposing only block ``index``.
@@ -352,20 +418,31 @@ class SAGeArchive:
         """
         if self._index is not None:
             return self._index
-        writer = BitWriter()
-        self._write_global_header(writer)
-        offset = (len(writer.getvalue()) + 8      # consensus framing
+        version = self._layout_version()
+        offset = (len(self._global_header_blob(version))
+                  + self._consensus_framing_nbytes(version)
                   + len(self.streams["consensus"][0])
-                  + (_INDEX_ENTRY_BITS // 8) * self.n_blocks)
+                  + (_index_entry_bits(version) // 8) * self.n_blocks)
         entries: list[BlockIndexEntry] = []
         for i in range(self.n_blocks):
             payload = self.block_payload(i)
             blk = self.block(i)
+            crc = _checksum(payload) if version >= VERSION else None
             entries.append(BlockIndexEntry(blk.n_mapped, blk.n_unmapped,
-                                           len(payload), offset))
+                                           len(payload), offset, crc))
             offset += len(payload)
         self._index = entries
         return entries
+
+    def _layout_version(self) -> int:
+        """The blocked-layout version this archive's index reflects."""
+        return self.source_version if self.source_version >= V3_VERSION \
+            else VERSION
+
+    @staticmethod
+    def _consensus_framing_nbytes(version: int) -> int:
+        """Bytes of consensus framing: bits(40) + nbytes(24) [+ crc32]."""
+        return 12 if version >= VERSION else 8
 
     def block_payload(self, index: int) -> bytes:
         """Raw serialized payload of block ``index``.
@@ -376,9 +453,7 @@ class SAGeArchive:
         """
         if (self._source_blob is not None and self._index is not None
                 and self.blocks and self.blocks[index] is None):
-            entry = self._index[index]
-            return self._source_blob[entry.offset:
-                                     entry.offset + entry.nbytes]
+            return self._checked_payload(index, self._index[index])
         return self.block(index).serialize()
 
     # ------------------------------------------------------------------
@@ -395,11 +470,10 @@ class SAGeArchive:
         block index, and per-block headers (flags + tables) — everything
         that is not stream/quality/header payload bytes.
         """
-        writer = BitWriter()
-        self._write_global_header(writer)
-        total = len(writer.getvalue())
-        total += 8                                   # consensus framing
-        total += (_INDEX_ENTRY_BITS // 8) * self.n_blocks
+        version = self._layout_version()
+        total = len(self._global_header_blob(version))
+        total += self._consensus_framing_nbytes(version)
+        total += (_index_entry_bits(version) // 8) * self.n_blocks
         total += sum(b.meta_nbytes() for b in self._parsed_blocks())
         return total
 
@@ -436,9 +510,15 @@ class SAGeArchive:
     # Serialization
     # ------------------------------------------------------------------
 
-    def _write_global_header(self, writer: BitWriter) -> None:
+    def _global_header_blob(self, version: int) -> bytes:
+        """The serialized global header for ``version`` (3 or 4).
+
+        v4 appends a CRC32 over the preceding header bytes, so any flip
+        in the global fields is detected before they are trusted.
+        """
+        writer = BitWriter()
         writer.write(MAGIC, 32)
-        writer.write(VERSION, 8)
+        writer.write(version, 8)
         writer.write(int(self.level), 4)
         writer.write_bit(self.long_reads)
         writer.write_bit(self.fixed_length)
@@ -452,39 +532,59 @@ class SAGeArchive:
         writer.write(self.n_blocks, 32)
         writer.write(self.block_reads, 32)
         writer.align_to_byte()
+        if version >= VERSION:
+            writer.write(_checksum(writer.getvalue()), 32)
+        return writer.getvalue()
 
-    def to_bytes(self, version: int = VERSION) -> bytes:
+    def to_bytes(self, version: int | None = None) -> bytes:
         """Serialize the archive to a byte blob.
 
-        ``version=2`` writes the legacy monolithic layout (flat archives
-        only); the default writes the block-based v3 layout, wrapping a
-        flat archive as a single block.
+        ``version=None`` (the default) preserves the version the archive
+        was loaded from — so reload/re-save round trips are
+        byte-identical — and writes the current checksummed
+        :data:`VERSION` for archives built in memory.  ``version=4``
+        writes the checksummed block layout, ``version=3`` the same
+        layout without digests (a v4 archive downgrades byte-identically
+        to the v3 bytes it extends), and ``version=2`` the legacy
+        monolithic layout (flat archives only).
         """
+        if version is None:
+            version = self.source_version \
+                if self.source_version in (V2_VERSION, V3_VERSION,
+                                           VERSION) else VERSION
         if version == V2_VERSION:
             if self.is_blocked:
                 raise ContainerError(
                     "blocked archives cannot be written as version 2")
             return self._to_bytes_v2()
-        if version != VERSION:
+        if version not in (V3_VERSION, VERSION):
             raise ContainerError(f"cannot write version {version}")
+        checksummed = version >= VERSION
         writer = BitWriter()
-        self._write_global_header(writer)
+        writer.write_bytes(self._global_header_blob(version))
         payload, bits = self.streams["consensus"]
         writer.write(bits, 40)
         writer.write(len(payload), 24)
         writer.align_to_byte()
+        if checksummed:
+            writer.write(_checksum(payload), 32)
         writer.write_bytes(payload)
         payloads = [self.block_payload(i) for i in range(self.n_blocks)]
         for i, blob in enumerate(payloads):
             if self._index is not None:
                 entry = self._index[i]
                 counts = (entry.n_mapped, entry.n_unmapped)
+                crc = entry.crc32
             else:
                 blk = self.block(i)
                 counts = (blk.n_mapped, blk.n_unmapped)
+                crc = None
             writer.write(counts[0], 40)
             writer.write(counts[1], 40)
             writer.write(len(blob), 32)
+            if checksummed:
+                writer.write(crc if crc is not None
+                             else _checksum(blob), 32)
         for blob in payloads:
             writer.write_bytes(blob)
         return writer.getvalue()
@@ -530,61 +630,117 @@ class SAGeArchive:
 
     @classmethod
     def from_bytes(cls, blob: bytes) -> "SAGeArchive":
-        """Deserialize an archive written by :meth:`to_bytes` (v2 or v3)."""
+        """Deserialize an archive written by :meth:`to_bytes` (v2–v4).
+
+        Malformed input fails with the taxonomy of
+        :mod:`repro.core.errors`: a short buffer raises
+        :class:`TruncatedArchiveError` (with the offset the layout ran
+        past), structural damage raises :class:`CorruptArchiveError` /
+        :class:`ContainerError` — never a raw ``struct.error`` or
+        ``IndexError``.  For v4 blobs the global-header and consensus
+        digests are verified here; per-block digests are verified
+        lazily when a block's payload is first touched.
+        """
+        if len(blob) < 5:
+            raise TruncatedArchiveError(
+                "buffer too short for a SAGe archive header",
+                offset=len(blob), expected=5, actual=len(blob))
         reader = BitReader(blob)
         if reader.read(32) != MAGIC:
-            raise ContainerError("bad magic; not a SAGe archive")
+            raise CorruptArchiveError("bad magic; not a SAGe archive",
+                                      offset=0)
         version = reader.read(8)
-        if version == V2_VERSION:
-            return cls._from_bytes_v2(reader)
-        if version == VERSION:
-            return cls._from_bytes_v3(reader, blob)
+        try:
+            if version == V2_VERSION:
+                return cls._from_bytes_v2(reader)
+            if version in (V3_VERSION, VERSION):
+                return cls._from_bytes_blocked(reader, blob, version)
+        except SAGeError:
+            raise
+        except BitIOError:           # pragma: no cover - SAGeError above
+            raise
+        except Exception as exc:
+            raise CorruptArchiveError(
+                f"malformed archive ({exc})",
+                offset=reader.position // 8) from exc
         raise ContainerError(f"unsupported version {version}")
 
     @classmethod
-    def _from_bytes_v3(cls, reader: BitReader,
-                       blob: bytes) -> "SAGeArchive":
-        level = OptLevel(reader.read(4))
-        long_reads = bool(reader.read_bit())
-        fixed_length = bool(reader.read_bit())
-        preserve_order = bool(reader.read_bit())
-        fixed_read_length = reader.read(32)
-        n_mapped = reader.read(40)
-        n_unmapped = reader.read(40)
-        consensus_length = reader.read(40)
-        w_rlen = reader.read(6)
-        w_cons = reader.read(6)
-        n_blocks = reader.read(32)
-        block_reads = reader.read(32)
-        reader.align_to_byte()
-        if n_blocks < 1:
-            raise ContainerError("archive has no blocks")
-        bits = reader.read(40)
-        nbytes = reader.read(24)
-        reader.align_to_byte()
-        consensus = (reader.read_bytes(nbytes), bits)
-        raw_index: list[tuple[int, int, int]] = []
-        for _ in range(n_blocks):
-            blk_mapped = reader.read(40)
-            blk_unmapped = reader.read(40)
-            blk_nbytes = reader.read(32)
-            raw_index.append((blk_mapped, blk_unmapped, blk_nbytes))
+    def _from_bytes_blocked(cls, reader: BitReader, blob: bytes,
+                            version: int) -> "SAGeArchive":
+        checksummed = version >= VERSION
+        try:
+            level = OptLevel(reader.read(4))
+            long_reads = bool(reader.read_bit())
+            fixed_length = bool(reader.read_bit())
+            preserve_order = bool(reader.read_bit())
+            fixed_read_length = reader.read(32)
+            n_mapped = reader.read(40)
+            n_unmapped = reader.read(40)
+            consensus_length = reader.read(40)
+            w_rlen = reader.read(6)
+            w_cons = reader.read(6)
+            n_blocks = reader.read(32)
+            block_reads = reader.read(32)
+            reader.align_to_byte()
+            if checksummed:
+                header_nbytes = reader.position // 8
+                stored = reader.read(32)
+                if _checksum(blob[:header_nbytes]) != stored:
+                    raise CorruptArchiveError(
+                        "global header checksum mismatch", offset=0)
+            if n_blocks < 1:
+                raise ContainerError("archive has no blocks")
+            bits = reader.read(40)
+            nbytes = reader.read(24)
+            reader.align_to_byte()
+            if checksummed:
+                consensus_crc = reader.read(32)
+                consensus_offset = reader.position // 8
+                payload = reader.read_bytes(nbytes)
+                if _checksum(payload) != consensus_crc:
+                    raise CorruptArchiveError(
+                        "consensus stream checksum mismatch",
+                        stream="consensus", offset=consensus_offset)
+            else:
+                payload = reader.read_bytes(nbytes)
+            consensus = (payload, bits)
+            raw_index: list[tuple[int, int, int, int | None]] = []
+            for _ in range(n_blocks):
+                blk_mapped = reader.read(40)
+                blk_unmapped = reader.read(40)
+                blk_nbytes = reader.read(32)
+                blk_crc = reader.read(32) if checksummed else None
+                raw_index.append((blk_mapped, blk_unmapped, blk_nbytes,
+                                  blk_crc))
+        except BitIOError as exc:
+            raise TruncatedArchiveError(
+                f"archive ends inside the global layout ({exc})",
+                offset=len(blob), actual=len(blob)) from exc
         base = reader.position // 8
         index: list[BlockIndexEntry] = []
         offset = base
-        for blk_mapped, blk_unmapped, blk_nbytes in raw_index:
+        for blk_mapped, blk_unmapped, blk_nbytes, blk_crc in raw_index:
             if offset + blk_nbytes > len(blob):
-                raise ContainerError("block index overruns the archive")
+                raise TruncatedArchiveError(
+                    "block index overruns the archive",
+                    block_index=len(index), offset=offset,
+                    expected=offset + blk_nbytes, actual=len(blob))
             index.append(BlockIndexEntry(blk_mapped, blk_unmapped,
-                                         blk_nbytes, offset))
+                                         blk_nbytes, offset, blk_crc))
             offset += blk_nbytes
 
         if n_blocks == 1:
             # Flat-compatible shape: expose the single block's payload
             # through the top-level fields, as a v2 load would.
             entry = index[0]
-            blk = SAGeBlock.deserialize(
-                blob[entry.offset:entry.offset + entry.nbytes])
+            payload = blob[entry.offset:entry.offset + entry.nbytes]
+            if (entry.crc32 is not None
+                    and _checksum(payload) != entry.crc32):
+                raise CorruptArchiveError(
+                    "block payload checksum mismatch", block_index=0,
+                    offset=entry.offset)
+            blk = SAGeBlock.deserialize(payload)
             streams = dict(blk.streams)
             streams["consensus"] = consensus
             return cls(level=level, long_reads=blk.long_reads,
@@ -596,7 +752,7 @@ class SAGeArchive:
                        tables=blk.tables, streams=streams,
                        quality=blk.quality, preserve_order=preserve_order,
                        headers_blob=blk.headers_blob,
-                       block_reads=block_reads, source_version=VERSION)
+                       block_reads=block_reads, source_version=version)
 
         archive = cls(level=level, long_reads=long_reads,
                       fixed_length=fixed_length,
@@ -607,10 +763,65 @@ class SAGeArchive:
                       streams={"consensus": consensus},
                       preserve_order=preserve_order,
                       blocks=[None] * n_blocks, block_reads=block_reads,
-                      source_version=VERSION)
+                      source_version=version)
         archive._source_blob = blob
         archive._index = index
         return archive
+
+    # ------------------------------------------------------------------
+    # Integrity
+    # ------------------------------------------------------------------
+
+    @property
+    def checksummed(self) -> bool:
+        """Whether this archive's source layout carries integrity
+        digests.  A pre-v4 *source* reports ``False`` even though a
+        re-serialization would write the checksummed layout: its bytes
+        were never protected, so ``verify_checksums`` must say
+        ``unchecked``, not ``ok``."""
+        return self.source_version >= VERSION
+
+    def header_crc32(self) -> int | None:
+        """The global-header digest a v4 serialization carries."""
+        if not self.checksummed:
+            return None
+        head = self._global_header_blob(VERSION)
+        return int.from_bytes(head[-4:], "big")
+
+    def consensus_crc32(self) -> int | None:
+        """The consensus-payload digest a v4 serialization carries."""
+        if not self.checksummed:
+            return None
+        return _checksum(self.streams["consensus"][0])
+
+    def verify_checksums(self) -> dict:
+        """Walk the stored digests without decoding anything.
+
+        Returns ``{"header": s, "consensus": s, "blocks": [s, ...]}``
+        with each status one of ``"ok"`` (digest matches),
+        ``"failed"`` (mismatch), or ``"unchecked"`` (the layout carries
+        no digest — v2/v3 archives).  Never raises on corruption; the
+        report localizes it instead.  Archives built in memory are
+        self-consistent by construction and report ``"ok"`` throughout
+        when checksummed.
+        """
+        if not self.checksummed:
+            return {"header": "unchecked", "consensus": "unchecked",
+                    "blocks": ["unchecked"] * self.n_blocks}
+        # A blob-backed v4 archive had its header and consensus digests
+        # verified at load; re-walk only the lazily checked blocks.
+        statuses: list[str] = []
+        if self._source_blob is not None and self._index is not None:
+            for entry in self._index:
+                payload = self._source_blob[entry.offset:
+                                            entry.offset + entry.nbytes]
+                ok = (len(payload) == entry.nbytes
+                      and (entry.crc32 is None
+                           or _checksum(payload) == entry.crc32))
+                statuses.append("ok" if ok else "failed")
+        else:
+            statuses = ["ok"] * self.n_blocks
+        return {"header": "ok", "consensus": "ok", "blocks": statuses}
 
     @classmethod
     def _from_bytes_v2(cls, reader: BitReader) -> "SAGeArchive":

@@ -31,13 +31,11 @@ from . import quality as quality_codec
 from .bitio import BitReader
 from .compressor import INDEL_LENGTH_BITS, RAW_COUNT_BITS
 from .container import SAGeArchive
+from .errors import (BlockDecodeError, DecompressionError,  # noqa: F401
+                     SAGeError)
 from .formats import unpack_bits
 from .kernels import resolve_kernel
 from .mismatch import INDEL_INS, TYPE_DEL, TYPE_INS, TYPE_SUB, OptLevel
-
-
-class DecompressionError(ValueError):
-    """Raised on malformed or inconsistent archives."""
 
 
 def renumber_fallback_headers(read_set: ReadSet, base: int,
@@ -109,8 +107,17 @@ class SAGeDecompressor:
             caller="SAGeDecompressor.decompress")
         if self.archive.is_blocked:
             return self._decompress_blocked(options)
-        codes = resolve_kernel(self._effective_codec(options)) \
-            .decode_reads(self)
+        try:
+            codes = resolve_kernel(self._effective_codec(options)) \
+                .decode_reads(self)
+        except SAGeError:
+            raise
+        except (IndexError, KeyError, OverflowError, ValueError) as exc:
+            # Corrupt streams drive the kernels out of range; never let
+            # that escape as a bare IndexError/KeyError.
+            raise DecompressionError(
+                f"read reconstruction failed "
+                f"({type(exc).__name__}: {exc})") from exc
         n_reads = len(codes)
         qualities: list[np.ndarray | None] = [None] * n_reads
         if self.archive.quality is not None:
@@ -186,19 +193,40 @@ class SAGeDecompressor:
         independent decode of §5.3.  On a flat archive only block 0
         exists and equals the whole read set.  ``codec`` overrides the
         decoder's session kernel for this block.
+
+        Any failure — corrupt payload, truncated stream, inconsistent
+        content — surfaces as :class:`BlockDecodeError` carrying the
+        block index, the unit of skip/salvage recovery.
         """
         arch = self.archive
-        view = arch.block_view(index)
-        base: int | None = None       # None = flat-archive naming
-        if arch.is_blocked and view.headers_blob is None:
-            # The offset is known from the index alone; no other block
-            # is decoded, and the fallback headers come out globally
-            # numbered in one pass.
-            base = sum(entry.n_reads
-                       for entry in arch.block_index()[:index])
-        return SAGeDecompressor(view, consensus=self.consensus,
-                                codec=codec or self.codec) \
-            .decompress(header_base=base)
+        try:
+            view = arch.block_view(index)
+            base: int | None = None       # None = flat-archive naming
+            if arch.is_blocked and view.headers_blob is None:
+                # The offset is known from the index alone; no other
+                # block is decoded, and the fallback headers come out
+                # globally numbered in one pass.
+                base = sum(entry.n_reads
+                           for entry in arch.block_index()[:index])
+            return SAGeDecompressor(view, consensus=self.consensus,
+                                    codec=codec or self.codec) \
+                .decompress(header_base=base)
+        except IndexError:
+            # Out-of-range block index is caller error, not corruption.
+            raise
+        except BlockDecodeError:
+            raise
+        except SAGeError as exc:
+            # Reuse the inner error's bare message and location context
+            # (when it has them) so the block index is stated once.
+            raise BlockDecodeError(
+                getattr(exc, "message", str(exc)), block_index=index,
+                stream=getattr(exc, "stream", None),
+                offset=getattr(exc, "offset", None)) from exc
+        except Exception as exc:
+            raise BlockDecodeError(
+                f"block decode failed ({type(exc).__name__}: {exc})",
+                block_index=index) from exc
 
     def iter_block_read_sets(self, workers: int | None = None, *,
                              backend: str | None = None,

@@ -46,6 +46,7 @@ import os
 import numpy as np
 
 from .bitio import BitIOError, BitWriter
+from .errors import CorruptArchiveError
 from .formats import unpack_bits
 from .mismatch import INDEL_INS, TYPE_DEL, TYPE_INS, TYPE_SUB
 
@@ -474,8 +475,8 @@ def _matching_positions(arch, n_mapped: int) -> np.ndarray:
     n_classes = len(table.widths)
     if (class_idx >= n_classes).any():
         bad = int(class_idx[class_idx >= n_classes][0])
-        raise ValueError(f"guide stream names class {bad}, "
-                         f"but table has {n_classes}")
+        raise CorruptArchiveError(f"guide stream names class {bad}, "
+                                  f"but table has {n_classes}")
     widths = table.widths_np[class_idx]
     offsets = np.cumsum(widths) - widths
     deltas = gather_fields(arch.streams["mpa"], offsets, widths,
@@ -508,9 +509,9 @@ def _past(name: str, nbits: int, pos: int, limit: int) -> BitIOError:
         f"(stream is {limit} bits)")
 
 
-def _bad_class(idx: int, n_classes: int) -> ValueError:
-    return ValueError(f"guide stream names class {idx}, "
-                      f"but table has {n_classes}")
+def _bad_class(idx: int, n_classes: int) -> CorruptArchiveError:
+    return CorruptArchiveError(f"guide stream names class {idx}, "
+                               f"but table has {n_classes}")
 
 
 def _decode_reads_batched(dec) -> list[np.ndarray]:

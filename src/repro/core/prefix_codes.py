@@ -16,6 +16,7 @@ from functools import cached_property
 import numpy as np
 
 from .bitio import BitReader, BitWriter
+from .errors import CorruptArchiveError
 
 #: Maximum number of bit-width classes (paper: |W| converges at d < 8).
 MAX_CLASSES = 8
@@ -143,8 +144,8 @@ class AssociationTable:
         """Decode one value from guide + array streams."""
         idx = guide.read_unary()
         if idx >= len(self.widths):
-            raise ValueError(f"guide stream names class {idx}, "
-                             f"but table has {len(self.widths)}")
+            raise CorruptArchiveError(f"guide stream names class {idx}, "
+                                      f"but table has {len(self.widths)}")
         return array.read(self.widths[idx])
 
     # ------------------------------------------------------------------

@@ -29,7 +29,7 @@ import time
 import warnings
 from concurrent.futures import Executor, ProcessPoolExecutor, \
     ThreadPoolExecutor
-from dataclasses import dataclass
+from dataclasses import dataclass, field
 from functools import partial
 from typing import Iterable, Iterator, Protocol, runtime_checkable
 
@@ -38,14 +38,35 @@ import numpy as np
 from ..core.blocks import BACKENDS, imap_bounded
 from ..core.container import SAGeArchive, SAGeBlock, block_as_archive
 from ..core.decompressor import SAGeDecompressor
+from ..core.errors import SAGeError
 from ..core.formats import unpack_bits
 from ..genomics import fastq
 from ..genomics.reads import Read, ReadSet
 from ..mapping.mapper import MapperConfig, ReadMapper
 
-__all__ = ["BACKENDS", "CollectSink", "ExecutorStats", "FastqSink",
-           "MappingRateReport", "MappingRateSink", "PropertySink", "Sink",
-           "StreamExecutor", "stream_read_sets"]
+__all__ = ["BACKENDS", "BlockGap", "CollectSink", "ExecutorStats",
+           "FastqSink", "MappingRateReport", "MappingRateSink",
+           "PropertySink", "Sink", "StreamExecutor", "stream_read_sets"]
+
+
+@dataclass(frozen=True)
+class BlockGap:
+    """Marker for a block lost to corruption under ``skip``/``salvage``.
+
+    Ordered output stays well-defined in the presence of failures: the
+    gap records which block is missing, how many reads it held (from the
+    block index, so downstream naming/offsets stay stable), and the
+    error that killed it.  Sinks receive gaps through their optional
+    ``consume_gap`` hook.
+    """
+
+    index: int
+    n_reads: int
+    error: Exception
+
+    @property
+    def message(self) -> str:
+        return str(self.error)
 
 
 @dataclass
@@ -57,6 +78,10 @@ class ExecutorStats:
     bases: int = 0
     peak_inflight: int = 0      # peak decoded-block queue depth
     wall_s: float = 0.0
+    blocks_failed: int = 0      # blocks whose decode exhausted retries
+    blocks_retried: int = 0     # blocks that needed >= 1 retry attempt
+    blocks_skipped: int = 0     # failed blocks turned into gaps
+    gaps: list = field(default_factory=list)   # BlockGap per lost block
 
     def note_depth(self, depth: int) -> None:
         self.peak_inflight = max(self.peak_inflight, depth)
@@ -68,7 +93,10 @@ class Sink(Protocol):
 
     ``consume`` is called once per block, in index order, while later
     blocks are still decoding in the executor's workers; ``finish`` is
-    called after the last block and returns the sink's result.
+    called after the last block and returns the sink's result.  Sinks
+    may additionally define ``consume_gap(gap: BlockGap)`` to observe
+    blocks lost under ``on_error="skip"/"salvage"``; sinks without the
+    hook simply never see the lost block.
     """
 
     def consume(self, index: int, block: ReadSet) -> None:
@@ -132,11 +160,20 @@ def _decode_payload(template: _ArchiveTemplate, consensus: np.ndarray,
         .decompress(header_base=base)
 
 
-def _decode_task(task: tuple[bytes, int]) -> ReadSet:
-    """Process-pool entry point; reads the initializer-installed state."""
+def _decode_task(task: tuple[bytes, int, Exception | None]) -> ReadSet:
+    """Process-pool entry point; reads the initializer-installed state.
+
+    A task carrying an exception is a *poison task*: the parent already
+    knows the block is bad (its payload checksum failed at slice time)
+    and routes the failure through the same worker-failure path as a
+    genuine decode crash, so the retry/skip policy sees one shape.
+    """
     assert _decode_state is not None, "worker initializer did not run"
     template, consensus = _decode_state
-    return _decode_payload(template, consensus, *task)
+    payload, base_reads, poison = task
+    if poison is not None:
+        raise poison
+    return _decode_payload(template, consensus, payload, base_reads)
 
 
 class StreamExecutor:
@@ -213,8 +250,45 @@ class StreamExecutor:
         """Yield each block's reads in index order.
 
         Statistics of the pass accumulate in :attr:`stats` (reset at the
-        start of every iteration).
+        start of every iteration).  Under ``on_error="skip"/"salvage"``
+        blocks lost to corruption are omitted here; their
+        :class:`BlockGap` records accumulate in ``stats.gaps`` (and are
+        delivered to sinks in :meth:`run`).
         """
+        for _index, item in self._iter_indexed():
+            if isinstance(item, ReadSet):
+                yield item
+
+    def run(self, *sinks: Sink) -> list:
+        """Drive the stream through ``sinks`` and collect their results.
+
+        Each decoded block is handed to every sink in order; with
+        ``workers > 1`` the sinks process block *i* while blocks
+        *i+1 … i+window* are still decoding — the software realization
+        of the paper's prep/analysis overlap.  A block lost under
+        ``on_error="skip"/"salvage"`` reaches each sink's optional
+        ``consume_gap`` hook instead, so ordered consumers can account
+        for the hole.
+        """
+        if not sinks:
+            raise ValueError("need at least one sink")
+        for index, item in self._iter_indexed():
+            if isinstance(item, BlockGap):
+                for sink in sinks:
+                    hook = getattr(sink, "consume_gap", None)
+                    if hook is not None:
+                        hook(item)
+                continue
+            for sink in sinks:
+                sink.consume(index, item)
+        return [sink.finish() for sink in sinks]
+
+    # ------------------------------------------------------------------
+    # Backends
+    # ------------------------------------------------------------------
+
+    def _iter_indexed(self) -> Iterator[tuple[int, "ReadSet | BlockGap"]]:
+        """Yield ``(block_index, ReadSet | BlockGap)`` in index order."""
         self.stats = ExecutorStats()
         start = time.perf_counter()
         backend = self.resolved_backend
@@ -225,44 +299,75 @@ class StreamExecutor:
         else:
             source = self._iter_process()
         try:
-            for block in source:
-                yield block
+            yield from enumerate(source)
         finally:
             self.stats.wall_s = time.perf_counter() - start
 
-    def run(self, *sinks: Sink) -> list:
-        """Drive the stream through ``sinks`` and collect their results.
+    def _account(self, item: "ReadSet | BlockGap") -> "ReadSet | BlockGap":
+        if isinstance(item, ReadSet):
+            self.stats.blocks += 1
+            self.stats.reads += len(item)
+            self.stats.bases += item.total_bases
+        return item
 
-        Each decoded block is handed to every sink in order; with
-        ``workers > 1`` the sinks process block *i* while blocks
-        *i+1 … i+window* are still decoding — the software realization
-        of the paper's prep/analysis overlap.
+    def _block_n_reads(self, index: int) -> int:
+        arch = self.archive
+        if arch.is_blocked:
+            return arch.block_index()[index].n_reads
+        return arch.n_mapped + arch.n_unmapped
+
+    def _resolve_failure(self, index: int, exc: Exception, *,
+                         pooled: bool) -> "ReadSet | BlockGap":
+        """Apply the retry + ``on_error`` policy to one failed block.
+
+        ``pooled`` marks failures from a worker pool: those get
+        ``block_retries`` serial in-parent re-decodes (rescuing blocks
+        lost to worker crashes, broken pools, or timeouts).  A failure
+        that already happened serially in-parent skips the same-codec
+        retries — re-running a deterministic decode cannot help.  Under
+        ``"salvage"`` the last attempt switches to the ``"python"``
+        reference kernel, so a vectorized-kernel bug cannot cost a
+        recoverable block.  Exhausted retries then follow the policy:
+        ``"raise"`` propagates, ``"skip"``/``"salvage"`` return a
+        :class:`BlockGap`.
         """
-        if not sinks:
-            raise ValueError("need at least one sink")
-        for index, block in enumerate(self):
-            for sink in sinks:
-                sink.consume(index, block)
-        return [sink.finish() for sink in sinks]
+        opts = self.options
+        policy = getattr(opts, "on_error", "raise")
+        retries = getattr(opts, "block_retries", 1) if pooled else 0
+        codecs = [self.codec] * retries
+        if policy == "salvage" and (not codecs or codecs[-1] != "python"):
+            codecs.append("python")
+        if not pooled:
+            codecs = [c for c in codecs if c != self.codec]
+        last = exc
+        if codecs:
+            self.stats.blocks_retried += 1
+            for codec in codecs:
+                try:
+                    return self.decompressor() \
+                        .decompress_block(index, codec=codec)
+                except Exception as retry_exc:
+                    last = retry_exc
+        self.stats.blocks_failed += 1
+        if policy == "raise":
+            raise last
+        gap = BlockGap(index, self._block_n_reads(index), last)
+        self.stats.blocks_skipped += 1
+        self.stats.gaps.append(gap)
+        return gap
 
-    # ------------------------------------------------------------------
-    # Backends
-    # ------------------------------------------------------------------
-
-    def _account(self, block: ReadSet) -> ReadSet:
-        self.stats.blocks += 1
-        self.stats.reads += len(block)
-        self.stats.bases += block.total_bases
-        return block
-
-    def _iter_serial(self) -> Iterator[ReadSet]:
+    def _iter_serial(self) -> Iterator["ReadSet | BlockGap"]:
         decoder = self.decompressor()
         for index in range(self.archive.n_blocks):
             self.stats.note_depth(1)
-            yield self._account(
-                decoder.decompress_block(index, codec=self.codec))
+            try:
+                item: "ReadSet | BlockGap" = decoder.decompress_block(
+                    index, codec=self.codec)
+            except Exception as exc:
+                item = self._resolve_failure(index, exc, pooled=False)
+            yield self._account(item)
 
-    def _iter_threaded(self) -> Iterator[ReadSet]:
+    def _iter_threaded(self) -> Iterator["ReadSet | BlockGap"]:
         decoder = self.decompressor()
         if self.archive.is_blocked:
             self.archive.block_index()       # pre-build: no lazy races
@@ -271,7 +376,7 @@ class StreamExecutor:
             yield from self._drain(pool, decode,
                                    range(self.archive.n_blocks))
 
-    def _iter_process(self) -> Iterator[ReadSet]:
+    def _iter_process(self) -> Iterator["ReadSet | BlockGap"]:
         arch = self.archive
         template = _ArchiveTemplate(
             level=arch.level,
@@ -281,10 +386,16 @@ class StreamExecutor:
             source_version=arch.source_version, codec=self.codec)
         index = arch.block_index()
 
-        def tasks() -> Iterator[tuple[bytes, int]]:
+        def tasks() -> Iterator[tuple[bytes, int, Exception | None]]:
             base = 0
             for i, entry in enumerate(index):
-                yield arch.block_payload(i), base
+                try:
+                    yield arch.block_payload(i), base, None
+                except SAGeError as exc:
+                    # Payload checksum failed in the parent: ship a
+                    # poison task so the failure takes the same path as
+                    # a worker-side decode crash.
+                    yield b"", base, exc
                 base += entry.n_reads
 
         try:
@@ -301,10 +412,14 @@ class StreamExecutor:
             yield from self._drain(pool, _decode_task, tasks())
 
     def _drain(self, pool: Executor, fn, items: Iterable
-               ) -> Iterator[ReadSet]:
-        for block in imap_bounded(pool, fn, items, self.window,
-                                  depth_probe=self.stats.note_depth):
-            yield self._account(block)
+               ) -> Iterator["ReadSet | BlockGap"]:
+        failure = partial(self._resolve_failure, pooled=True)
+        for item in imap_bounded(
+                pool, fn, items, self.window,
+                depth_probe=self.stats.note_depth,
+                timeout=getattr(self.options, "block_timeout", None),
+                failure=failure):
+            yield self._account(item)
 
 
 def stream_read_sets(archive: SAGeArchive, *, options=None,
@@ -338,14 +453,21 @@ class FastqSink:
     def __init__(self, handle):
         self.handle = handle
         self.n_reads = 0
+        self.n_missing = 0
 
     def consume(self, index: int, block: ReadSet) -> None:
         for read in block:
             self.handle.write(fastq.format_read(read, self.n_reads))
             self.n_reads += 1
 
+    def consume_gap(self, gap: BlockGap) -> None:
+        # Advance the global read counter past the hole so fallback
+        # read names after a skipped block match an intact decode.
+        self.n_reads += gap.n_reads
+        self.n_missing += gap.n_reads
+
     def finish(self) -> int:
-        return self.n_reads
+        return self.n_reads - self.n_missing
 
 
 class CollectSink:
@@ -355,11 +477,15 @@ class CollectSink:
     def __init__(self):
         self._reads: list[Read] = []
         self._name = ""
+        self.gaps: list[BlockGap] = []
 
     def consume(self, index: int, block: ReadSet) -> None:
         if not self._name and block.name:
             self._name = block.name
         self._reads.extend(block)
+
+    def consume_gap(self, gap: BlockGap) -> None:
+        self.gaps.append(gap)
 
     def finish(self) -> ReadSet:
         return ReadSet(self._reads, name=self._name)

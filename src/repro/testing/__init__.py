@@ -1,0 +1,7 @@
+"""repro.testing — fault-injection and robustness test utilities."""
+
+from .faults import (FaultReport, bit_flip, byte_swap, inject,
+                     random_fault, truncate, zero_region)
+
+__all__ = ["FaultReport", "bit_flip", "byte_swap", "inject",
+           "random_fault", "truncate", "zero_region"]

@@ -149,7 +149,7 @@ class TestFacadeSessions:
         nbytes = dataset.save(path)
         assert path.stat().st_size == nbytes
         with SAGeDataset.open(path) as session:
-            assert session.format_version == 3
+            assert session.format_version == 4
             assert session.n_blocks == dataset.n_blocks
             assert read_multiset(session.read_set()) \
                 == read_multiset(rs3_small.read_set)
@@ -291,6 +291,76 @@ class TestSinkRegistry:
             register_sink("", lambda ds: None)
         with pytest.raises(ValueError):
             register_sink("x", "not callable")
+
+
+class TestIntegrityAPI:
+    def test_atomic_write_bytes(self, tmp_path):
+        from repro.api import atomic_write_bytes
+        path = tmp_path / "out.bin"
+        assert atomic_write_bytes(path, b"abc") == 3
+        assert path.read_bytes() == b"abc"
+        assert list(tmp_path.iterdir()) == [path]
+
+    def test_save_failure_keeps_old_file(self, tmp_path, dataset,
+                                         monkeypatch):
+        import os
+        path = tmp_path / "rs3.sage"
+        dataset.save(path)
+        before = path.read_bytes()
+
+        def boom(src, dst):
+            raise OSError("disk full")
+
+        monkeypatch.setattr(os, "replace", boom)
+        with pytest.raises(OSError, match="disk full"):
+            dataset.save(path)
+        monkeypatch.undo()
+        # The old archive survives and no temp file is left behind.
+        assert path.read_bytes() == before
+        assert list(tmp_path.iterdir()) == [path]
+
+    def test_format_version_option_downgrades(self, tmp_path, rs3_small):
+        ds = SAGeDataset.from_fastq(
+            rs3_small.read_set, reference=rs3_small.reference,
+            options=EngineOptions(block_reads=BLOCK_READS,
+                                  format_version=3))
+        assert ds.to_bytes()[4] == 3
+        path = tmp_path / "v3.sage"
+        ds.save(path)
+        with SAGeDataset.open(path) as session:
+            assert session.format_version == 3
+            assert read_multiset(session.read_set()) \
+                == read_multiset(rs3_small.read_set)
+
+    def test_verify_ok(self, dataset):
+        report = dataset.verify()
+        assert report.status == "ok" and report.ok
+        assert not report.deep
+        deep = dataset.verify(deep=True)
+        assert deep.status == "ok" and deep.deep and not deep.errors
+        assert deep.to_dict()["status"] == "ok"
+
+    def test_verify_pre_v4_unchecked(self, tmp_path, dataset):
+        path = tmp_path / "v3.sage"
+        dataset.save(path, version=3)
+        with SAGeDataset.open(path) as session:
+            report = session.verify()
+            assert report.status == "unchecked"
+            assert report.ok        # unchecked is not a failure
+            deep = session.verify(deep=True)
+            # Deep decode verifies each block even without digests; the
+            # header/consensus digests remain absent on v3.
+            assert set(deep.blocks) == {"ok"}
+            assert deep.header == "unchecked"
+            assert deep.ok and not deep.errors
+
+    def test_salvage_intact_archive(self, dataset, rs3_small):
+        report = dataset.salvage()
+        assert report.recovery_rate == 1.0
+        assert report.blocks_lost == 0 and not report.gaps
+        assert read_multiset(report.read_set) \
+            == read_multiset(rs3_small.read_set)
+        assert report.to_dict()["reads_lost"] == 0
 
 
 class TestSystemIntegration:

@@ -207,7 +207,8 @@ class TestInspectJson:
         capsys.readouterr()
         assert main(["inspect", str(archive), "--json"]) == 0
         info = json.loads(capsys.readouterr().out)
-        assert info["version"] == 3
+        assert info["version"] == 4
+        assert info["integrity"] == "ok"
         assert info["level"] == "O4"
         assert info["n_blocks"] > 1
         assert len(info["blocks"]) == info["n_blocks"]
@@ -299,7 +300,7 @@ class TestAnalyzeSinks:
 
 
 class TestInspectFormatVersion:
-    def test_v3_format_version_and_options_echo(self, workdir, capsys):
+    def test_v4_format_version_and_options_echo(self, workdir, capsys):
         import json
         archive = workdir / "reads.sage"
         main(["compress", str(workdir / "reads.fastq"),
@@ -308,7 +309,7 @@ class TestInspectFormatVersion:
         capsys.readouterr()
         assert main(["inspect", str(archive), "--json"]) == 0
         info = json.loads(capsys.readouterr().out)
-        assert info["format_version"] == 3
+        assert info["format_version"] == 4
         options = info["options"]
         assert options["block_reads"] == 16
         assert options["level"] == "O4"
@@ -380,3 +381,105 @@ class TestBenchEncode:
             main(["compress", str(workdir / "reads.fastq"),
                   str(workdir / "ref.txt"), str(workdir / "x.sage"),
                   "--mapper", "simd"])
+
+
+class TestVerifySalvage:
+    @pytest.fixture()
+    def blocked(self, workdir):
+        archive = workdir / "blocked.sage"
+        main(["compress", str(workdir / "reads.fastq"),
+              str(workdir / "ref.txt"), str(archive),
+              "--block-reads", "24"])
+        return archive
+
+    @pytest.fixture()
+    def damaged(self, workdir, blocked):
+        from repro.core.container import SAGeArchive
+        blob = blocked.read_bytes()
+        entry = SAGeArchive.from_bytes(blob).block_index()[1]
+        corrupted = bytearray(blob)
+        corrupted[entry.offset + entry.nbytes // 2] ^= 0xFF
+        path = workdir / "damaged.sage"
+        path.write_bytes(bytes(corrupted))
+        return path
+
+    def test_verify_ok(self, blocked, capsys):
+        assert main(["verify", str(blocked)]) == 0
+        assert "integrity ok" in capsys.readouterr().out
+
+    def test_verify_json_ok(self, blocked, capsys):
+        import json
+        assert main(["verify", str(blocked), "--json"]) == 0
+        info = json.loads(capsys.readouterr().out)
+        assert info["status"] == "ok"
+        assert info["format_version"] == 4
+        assert set(info["blocks"]) == {"ok"}
+
+    def test_verify_damaged_exits_nonzero(self, damaged, capsys):
+        assert main(["verify", str(damaged)]) == 1
+        out = capsys.readouterr().out
+        assert "integrity failed" in out
+        assert "block 1: failed" in out
+
+    def test_verify_deep_json(self, damaged, capsys):
+        import json
+        assert main(["verify", str(damaged), "--deep", "--json"]) == 1
+        info = json.loads(capsys.readouterr().out)
+        assert info["deep"] is True
+        assert info["blocks"][1] == "failed"
+        assert "1" in info["errors"]
+
+    def test_salvage_recovers_survivors(self, damaged, workdir, capsys,
+                                        rs3_small):
+        out = workdir / "salvaged.fastq"
+        assert main(["salvage", str(damaged), str(out)]) == 1
+        text = capsys.readouterr().out
+        assert "lost block 1" in text
+        recovered = fastq.read_file(out)
+        # Exactly the 24 reads of the damaged block are missing.
+        assert len(recovered) == len(rs3_small.read_set) - 24
+        assert set(read_multiset(recovered)) \
+            <= set(read_multiset(rs3_small.read_set))
+
+    def test_salvage_intact_exits_zero(self, blocked, workdir, capsys):
+        out = workdir / "all.fastq"
+        assert main(["salvage", str(blocked), str(out), "--json"]) == 0
+        import json
+        info = json.loads(capsys.readouterr().out)
+        assert info["blocks_lost"] == 0
+        assert info["recovery_rate"] == 1.0
+
+    def test_cat_corrupt_block_names_index(self, damaged, capsys):
+        assert main(["cat", str(damaged), "--block", "1"]) == 1
+        err = capsys.readouterr().err
+        assert "block 1" in err
+
+    def test_inspect_damaged_reports_integrity(self, damaged, capsys):
+        import json
+        assert main(["inspect", str(damaged), "--json"]) == 0
+        info = json.loads(capsys.readouterr().out)
+        assert info["integrity"] == "failed"
+
+
+class TestCompressFormatVersion:
+    def test_v3_flag_writes_pre_checksum_layout(self, workdir, rs3_small,
+                                                capsys):
+        archive = workdir / "v3.sage"
+        out = workdir / "v3.fastq"
+        assert main(["compress", str(workdir / "reads.fastq"),
+                     str(workdir / "ref.txt"), str(archive),
+                     "--block-reads", "24",
+                     "--format-version", "3"]) == 0
+        assert archive.read_bytes()[4] == 3
+        assert main(["decompress", str(archive), str(out)]) == 0
+        decoded = fastq.read_file(out)
+        assert read_multiset(decoded) == read_multiset(rs3_small.read_set)
+
+    def test_verify_v3_unchecked(self, workdir, capsys):
+        archive = workdir / "v3.sage"
+        main(["compress", str(workdir / "reads.fastq"),
+              str(workdir / "ref.txt"), str(archive),
+              "--format-version", "3"])
+        capsys.readouterr()
+        assert main(["verify", str(archive)]) == 0
+        assert "unchecked" in capsys.readouterr().out

@@ -3,7 +3,8 @@
 import pytest
 
 from repro.core import SAGeCompressor, SAGeConfig
-from repro.core.container import ContainerError, SAGeArchive
+from repro.core.container import (ContainerError, CorruptArchiveError,
+                                  SAGeArchive, TruncatedArchiveError)
 
 
 @pytest.fixture(scope="module")
@@ -68,3 +69,84 @@ class TestValidation:
         # twice must agree.
         assert archive.header_bytes_estimate() \
             == archive.header_bytes_estimate()
+
+
+class TestMalformedInput:
+    """from_bytes never escapes as struct.error/IndexError: every
+    malformed buffer fails with the typed taxonomy, carrying offsets."""
+
+    def test_empty_buffer(self):
+        with pytest.raises(TruncatedArchiveError):
+            SAGeArchive.from_bytes(b"")
+
+    def test_short_buffer(self):
+        with pytest.raises(TruncatedArchiveError) as info:
+            SAGeArchive.from_bytes(b"SAG")
+        assert info.value.actual == 3
+
+    def test_non_sage_input(self):
+        with pytest.raises(CorruptArchiveError) as info:
+            SAGeArchive.from_bytes(b"this is not a SAGe archive at all")
+        assert info.value.offset == 0
+
+    @pytest.mark.parametrize("cut", [6, 12, 30])
+    def test_truncated_header(self, archive, cut):
+        blob = archive.to_bytes()
+        with pytest.raises(TruncatedArchiveError):
+            SAGeArchive.from_bytes(blob[:cut])
+
+    def test_truncated_anywhere_is_typed(self, archive):
+        blob = archive.to_bytes()
+        for cut in range(5, len(blob), max(1, len(blob) // 23)):
+            try:
+                SAGeArchive.from_bytes(blob[:cut])
+            except ContainerError:
+                pass   # typed failure is the contract; never a raw
+                       # struct.error / IndexError
+
+    def test_taxonomy_is_valueerror(self):
+        # Pre-taxonomy `except ValueError` call sites keep working.
+        with pytest.raises(ValueError):
+            SAGeArchive.from_bytes(b"XXXXXXXXXX")
+
+
+class TestChecksums:
+    def test_v4_is_default_write(self, archive):
+        blob = archive.to_bytes()
+        assert blob[4] == 4
+        back = SAGeArchive.from_bytes(blob)
+        assert back.source_version == 4
+        assert back.checksummed
+
+    def test_verify_checksums_ok(self, archive):
+        back = SAGeArchive.from_bytes(archive.to_bytes())
+        report = back.verify_checksums()
+        assert report["header"] == "ok"
+        assert report["consensus"] == "ok"
+        assert set(report["blocks"]) == {"ok"}
+
+    def test_header_crc_detects_damage(self, archive):
+        blob = bytearray(archive.to_bytes())
+        blob[8] ^= 0x10           # inside the global header fields
+        with pytest.raises(CorruptArchiveError):
+            SAGeArchive.from_bytes(bytes(blob))
+
+    def test_v3_downgrade_roundtrips_byte_identical(self, archive):
+        v3 = archive.to_bytes(version=3)
+        assert v3[4] == 3
+        back = SAGeArchive.from_bytes(v3)
+        assert back.source_version == 3
+        assert not back.checksummed
+        assert back.to_bytes() == v3
+
+    def test_v3_verify_reports_unchecked(self, archive):
+        back = SAGeArchive.from_bytes(archive.to_bytes(version=3))
+        report = back.verify_checksums()
+        assert report["header"] == "unchecked"
+        assert set(report["blocks"]) == {"unchecked"}
+
+    def test_v4_upgrade_from_v3(self, archive):
+        back = SAGeArchive.from_bytes(archive.to_bytes(version=3))
+        upgraded = SAGeArchive.from_bytes(back.to_bytes(version=4))
+        assert upgraded.checksummed
+        assert upgraded.verify_checksums()["header"] == "ok"

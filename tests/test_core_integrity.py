@@ -1,0 +1,149 @@
+"""Error-taxonomy and checksum-integrity tests (v4 container)."""
+
+import pickle
+
+import pytest
+
+from repro.api import EngineOptions
+from repro.core import SAGeCompressor, SAGeConfig, compress_blocked
+from repro.core.bitio import BitIOError
+from repro.core.container import SAGeArchive
+from repro.core.decompressor import SAGeDecompressor
+from repro.core.errors import (BlockDecodeError, ContainerError,
+                               CorruptArchiveError, DecompressionError,
+                               SAGeError, TruncatedArchiveError)
+
+
+@pytest.fixture(scope="module")
+def blocked(rs3_small):
+    """A blocked archive plus its serialized v4 blob."""
+    archive = compress_blocked(rs3_small.read_set, rs3_small.reference,
+                               SAGeConfig(),
+                               options=EngineOptions(block_reads=24))
+    return archive, archive.to_bytes()
+
+
+class TestTaxonomy:
+    def test_hierarchy(self):
+        # Every class descends from SAGeError, which is a ValueError —
+        # pre-taxonomy `except ValueError` handlers keep working.
+        assert issubclass(SAGeError, ValueError)
+        assert issubclass(ContainerError, SAGeError)
+        assert issubclass(CorruptArchiveError, ContainerError)
+        assert issubclass(TruncatedArchiveError, CorruptArchiveError)
+        assert issubclass(DecompressionError, SAGeError)
+        assert issubclass(BlockDecodeError, DecompressionError)
+        assert issubclass(BitIOError, SAGeError)
+
+    def test_context_rendering(self):
+        err = CorruptArchiveError("checksum mismatch", block_index=3,
+                                  stream="mpa", offset=128)
+        assert "block 3" in str(err)
+        assert "'mpa'" in str(err)
+        assert "byte offset 128" in str(err)
+        assert err.context == {"block_index": 3, "stream": "mpa",
+                               "offset": 128}
+
+    def test_truncation_expected_actual(self):
+        err = TruncatedArchiveError("short read", expected=100, actual=40)
+        assert err.expected == 100 and err.actual == 40
+        assert "need 100" in str(err) and "have 40" in str(err)
+
+    @pytest.mark.parametrize("err", [
+        CorruptArchiveError("bad", block_index=2, offset=7),
+        TruncatedArchiveError("short", expected=9, actual=1),
+        BlockDecodeError("dead block", block_index=5, stream="mbta"),
+    ])
+    def test_pickle_roundtrip(self, err):
+        # These errors cross the process-pool boundary in the
+        # fault-tolerant executor; context must survive pickling.
+        back = pickle.loads(pickle.dumps(err))
+        assert type(back) is type(err)
+        assert str(back) == str(err)
+        assert back.context == err.context
+
+
+class TestBlockChecksums:
+    def _corrupt_block(self, blob: bytes, index: int) -> bytes:
+        arch = SAGeArchive.from_bytes(blob)
+        entry = arch.block_index()[index]
+        damaged = bytearray(blob)
+        damaged[entry.offset + entry.nbytes // 2] ^= 0xFF
+        return bytes(damaged)
+
+    def test_lazy_block_check_names_block(self, blocked):
+        _, blob = blocked
+        bad = SAGeArchive.from_bytes(self._corrupt_block(blob, 2))
+        with pytest.raises(CorruptArchiveError) as info:
+            bad.block(2)
+        assert info.value.block_index == 2
+        # Other blocks stay decodable: corruption is localized.
+        assert bad.block(1) is not None
+        assert bad.block(3) is not None
+
+    def test_decompress_block_wraps(self, blocked):
+        _, blob = blocked
+        bad = SAGeArchive.from_bytes(self._corrupt_block(blob, 1))
+        with pytest.raises(BlockDecodeError) as info:
+            SAGeDecompressor(bad).decompress_block(1)
+        assert info.value.block_index == 1
+
+    def test_verify_localizes(self, blocked):
+        archive, blob = blocked
+        bad = SAGeArchive.from_bytes(self._corrupt_block(blob, 3))
+        report = bad.verify_checksums()
+        assert report["blocks"][3] == "failed"
+        assert all(status == "ok" for i, status in
+                   enumerate(report["blocks"]) if i != 3)
+
+    def test_crc_helpers(self, blocked):
+        _, blob = blocked
+        arch = SAGeArchive.from_bytes(blob)
+        assert arch.header_crc32() is not None
+        assert arch.consensus_crc32() is not None
+        v3 = SAGeArchive.from_bytes(arch.to_bytes(version=3))
+        assert v3.header_crc32() is None
+        assert v3.consensus_crc32() is None
+
+    def test_consensus_crc_detects_damage(self, blocked):
+        archive, blob = blocked
+        version = archive._layout_version()
+        head = len(archive._global_header_blob(version))
+        damaged = bytearray(blob)
+        # First consensus payload byte: framing is 12 bytes in v4.
+        damaged[head + 12] ^= 0x01
+        with pytest.raises(CorruptArchiveError) as info:
+            SAGeArchive.from_bytes(bytes(damaged))
+        assert info.value.stream == "consensus"
+
+
+class TestContentCorruption:
+    """Pre-v4 blobs carry no digests — damage must still surface as a
+    typed error (or decode; never a bare IndexError/struct.error)."""
+
+    def test_v3_content_damage_is_typed(self, blocked):
+        archive, _ = blocked
+        blob = archive.to_bytes(version=3)
+        arch = SAGeArchive.from_bytes(blob)
+        entry = arch.block_index()[0]
+        for delta in range(8):
+            damaged = bytearray(blob)
+            damaged[entry.offset + 2 + delta] ^= 0xFF
+            bad = SAGeArchive.from_bytes(bytes(damaged))
+            try:
+                SAGeDecompressor(bad).decompress_block(0)
+            except SAGeError:
+                pass            # typed detection is the contract
+
+    def test_flat_decode_wraps_kernel_errors(self, rs3_small):
+        archive = SAGeCompressor(rs3_small.reference, SAGeConfig()) \
+            .compress(rs3_small.read_set)
+        blob = archive.to_bytes(version=2)       # no digests at all
+        for offset in range(60, 68):
+            damaged = bytearray(blob)
+            damaged[offset] ^= 0xFF
+            try:
+                bad = SAGeArchive.from_bytes(bytes(damaged))
+                SAGeDecompressor(bad).decompress()
+            except SAGeError:
+                pass            # typed detection is the contract
