@@ -1,0 +1,153 @@
+"""Fig. 23 (repo extension) — zero-copy transport & selective decode.
+
+Three claims about the PR 8 streaming engine, measured on one blocked
+archive:
+
+* **Descriptor transport** — the process backend ships
+  ``(path, index, offset, nbytes, crc)`` descriptors to workers that
+  read payloads from their own mmap, instead of pickling every payload
+  into the task queue.  IPC bytes per block drop by >= 100x.
+* **Wall clock** — with parent-side payload copying and pickling off
+  the critical path, the end-to-end process-backend decode improves
+  vs the payload-shipping baseline (asserted on >= 4 cores, mirroring
+  fig19's gating; numbers are recorded regardless).
+* **Stream selection** — a ``MappingRateSink`` analysis decodes only
+  the sequence group, >= 2x fewer stream bits than a full decode,
+  while a full selection stays byte-identical to the eager in-memory
+  path under both codec kernels.
+"""
+
+import os
+import time
+
+from repro.api import EngineOptions, SAGeDataset, atomic_write_bytes
+from repro.core import SAGeArchive
+from repro.core.kernels import available_kernels
+from repro.genomics import fastq
+from repro.genomics.reads import ReadSet
+
+from benchmarks.conftest import write_result
+
+LABEL = "RS2"
+N_BLOCKS_TARGET = 12
+PARALLEL_WORKERS = 4
+
+#: Input repetitions: enlarges the decode workload (quality decode is
+#: the dominant per-block cost) so pool startup doesn't mask transport
+#: effects on multi-core hosts.
+REPEATS = 2
+
+#: Wall-clock measurements per transport (best time wins) — shields
+#: the >= 4-core assertion from scheduler noise on shared runners.
+TRIALS = 3
+
+
+def _process_pass(dataset: SAGeDataset):
+    """One full process-backend streaming pass; returns its stats."""
+    t0 = time.perf_counter()
+    dataset.analyze("collect")
+    wall = time.perf_counter() - t0
+    return dataset.stats, wall
+
+
+def test_fig23_transport(benchmark, bench_sims, tmp_path):
+    sim = bench_sims[LABEL]
+    reads = ReadSet(list(sim.read_set) * REPEATS, name=sim.read_set.name)
+    block_reads = max(1, len(reads) // N_BLOCKS_TARGET)
+    options = EngineOptions(block_reads=block_reads)
+    blob = SAGeDataset.from_fastq(reads, reference=sim.reference,
+                                  options=options).to_bytes()
+    path = tmp_path / "fig23.sage"
+    atomic_write_bytes(path, blob)
+    n_blocks = SAGeArchive.from_bytes(blob).n_blocks
+    assert n_blocks >= 8
+    process = EngineOptions(backend="process", workers=PARALLEL_WORKERS)
+
+    # (a) IPC traffic: payload pickling vs descriptor transport.
+    payload_wall = desc_wall = float("inf")
+    payload_shipped = desc_shipped = None
+    for _ in range(TRIALS):
+        eager = SAGeDataset(SAGeArchive.from_bytes(blob),
+                            options=process)
+        stats, wall = _process_pass(eager)
+        payload_wall = min(payload_wall, wall)
+        payload_shipped = stats.bytes_shipped
+        with SAGeDataset.open(path, options=process) as lazy:
+            stats, wall = _process_pass(lazy)
+        desc_wall = min(desc_wall, wall)
+        desc_shipped = stats.bytes_shipped
+    assert payload_shipped > 0 and desc_shipped > 0
+    ipc_ratio = payload_shipped / desc_shipped
+    assert ipc_ratio >= 100, \
+        f"IPC bytes/block only {ipc_ratio:.0f}x smaller"
+
+    # (c) Selective decode + byte identity under both kernels.
+    kernel_rows = []
+    for codec in available_kernels():
+        eager = SAGeDataset(SAGeArchive.from_bytes(blob),
+                            options=EngineOptions(codec=codec))
+        baseline = fastq.write(eager.read_set())
+        with SAGeDataset.open(
+                path, options=EngineOptions(codec=codec)) as lazy:
+            assert fastq.write(lazy.read_set()) == baseline
+            lazy.analyze("collect")
+            full_bits = lazy.stats.stream_bits_total
+            full_groups = dict(lazy.stats.streams_decoded)
+            lazy.analyze("mapping-rate")
+            rate_bits = lazy.stats.stream_bits_total
+            rate_groups = dict(lazy.stats.streams_decoded)
+        assert full_groups["quality"] > 0
+        assert rate_groups["quality"] == 0
+        assert rate_groups["headers"] == 0
+        assert rate_groups["sequence"] > 0
+        assert full_bits >= 2 * rate_bits, \
+            f"{codec}: selective decode saved < 2x " \
+            f"({rate_bits} of {full_bits} bits)"
+        kernel_rows.append((codec, full_bits, rate_bits,
+                            full_bits / max(1, rate_bits)))
+
+    cores = os.cpu_count() or 1
+    speedup = payload_wall / max(1e-9, desc_wall)
+    lines = [
+        "Fig. 23 — zero-copy block transport & selective decode",
+        "",
+        f"dataset {LABEL}: {len(reads)} reads, {n_blocks} blocks "
+        f"({block_reads} reads/block), process workers="
+        f"{PARALLEL_WORKERS}, cores={cores}, best of {TRIALS}",
+        "",
+        f"{'transport':<12}{'ipc_bytes':>12}{'bytes/block':>13}"
+        f"{'wall_s':>10}",
+        f"{'payload':<12}{payload_shipped:>12}"
+        f"{payload_shipped // n_blocks:>13}{payload_wall:>10.3f}",
+        f"{'descriptor':<12}{desc_shipped:>12}"
+        f"{desc_shipped // n_blocks:>13}{desc_wall:>10.3f}",
+        "",
+        f"IPC bytes per block: {ipc_ratio:.0f}x smaller "
+        "(asserted >= 100x)",
+        f"decode wall clock: {speedup:.2f}x vs payload transport "
+        f"(asserted > 1 only on >= 4 cores; this host has {cores})",
+        "",
+        f"{'kernel':<10}{'full_bits':>12}{'maprate_bits':>14}"
+        f"{'savings':>10}",
+    ]
+    for codec, full_bits, rate_bits, ratio in kernel_rows:
+        lines.append(f"{codec:<10}{full_bits:>12}{rate_bits:>14}"
+                     f"{ratio:>9.1f}x")
+    lines += [
+        "",
+        "full-selection mmap decode is byte-identical FASTQ to the "
+        "eager in-memory path under every kernel",
+    ]
+    write_result("fig23_transport", "\n".join(lines))
+
+    if cores >= 4:
+        # With real parallelism the descriptor transport must beat
+        # payload pickling end to end.
+        assert desc_wall < payload_wall
+
+    # Perf trajectory: one descriptor-transport streaming pass.
+    def _lazy_pass():
+        with SAGeDataset.open(path) as lazy:
+            lazy.analyze("mapping-rate")
+
+    benchmark.pedantic(_lazy_pass, rounds=2, iterations=1)

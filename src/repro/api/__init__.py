@@ -18,6 +18,7 @@ compressor/decompressor/executor plumbing themselves.
 from .._compat import reset_deprecation_warnings
 from ..core.errors import (BlockDecodeError, CorruptArchiveError,
                            SAGeError, TruncatedArchiveError)
+from ..core.selection import STREAM_GROUPS, StreamSelection
 from .dataset import (Pipeline, SAGeDataset, SalvageReport, SourceTotals,
                       VerifyReport, atomic_write_bytes)
 from .options import ON_ERROR, EngineOptions, resolve_stream_options
@@ -26,9 +27,10 @@ from .sinks import (CallableSink, available_sinks, make_sink,
 
 __all__ = [
     "BlockDecodeError", "CallableSink", "CorruptArchiveError",
-    "EngineOptions", "ON_ERROR", "Pipeline", "SAGeDataset", "SAGeError",
-    "SalvageReport", "SourceTotals", "TruncatedArchiveError",
-    "VerifyReport", "atomic_write_bytes", "available_sinks", "make_sink",
+    "EngineOptions", "ON_ERROR", "Pipeline", "STREAM_GROUPS",
+    "SAGeDataset", "SAGeError", "SalvageReport", "SourceTotals",
+    "StreamSelection", "TruncatedArchiveError", "VerifyReport",
+    "atomic_write_bytes", "available_sinks", "make_sink",
     "register_sink", "reset_deprecation_warnings",
     "resolve_stream_options", "unregister_sink",
 ]

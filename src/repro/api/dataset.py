@@ -280,13 +280,16 @@ class SAGeDataset:
              options: EngineOptions | None = None) -> "SAGeDataset":
         """Open an archive file as a dataset session.
 
-        The blob is read once; per-block payloads parse lazily on
-        access, so opening a large archive and touching one block reads
-        only that block's bytes.  Usable as a context manager.
+        The file is memory-mapped, not read: opening touches only the
+        global header, consensus, and block index, and each block's
+        payload bytes are faulted in (zero-copy) the first time that
+        block is accessed.  A streaming pass over the archive therefore
+        peaks far below the archive size, and the process-backend
+        executor ships per-block *descriptors* to workers instead of
+        payload bytes.  Usable as a context manager; :meth:`close`
+        releases the mapping.
         """
-        blob = Path(path).read_bytes()
-        return cls(SAGeArchive.from_bytes(blob), options=options,
-                   path=path)
+        return cls(SAGeArchive.open(path), options=options, path=path)
 
     # ------------------------------------------------------------------
     # Session lifecycle
@@ -300,10 +303,14 @@ class SAGeDataset:
         return False
 
     def close(self) -> None:
-        """End the session: release cached decoders and executors."""
+        """End the session: release cached decoders, executors, and —
+        for archives opened from a file — the memory mapping.  Blocks
+        already parsed stay usable (they hold their own bytes); blocks
+        never touched are no longer reachable after close."""
         self._closed = True
         self._decompressor = None
         self._last_executor = None
+        self._archive.close()
 
     @property
     def closed(self) -> bool:
@@ -410,6 +417,11 @@ class SAGeDataset:
                     # A successful full decode verifies the block even
                     # when the layout carries no digest (pre-v4).
                     blocks[index] = "ok"
+                finally:
+                    # Deep verify walks every block; keep at most one
+                    # parsed at a time so an mmap-backed archive stays
+                    # O(block) resident, not O(archive).
+                    self._archive.release_block(index)
         return VerifyReport(format_version=self.format_version,
                             header=digests["header"],
                             consensus=digests["consensus"],

@@ -20,6 +20,7 @@ from ..core.blocks import BACKENDS, DEFAULT_BLOCK_READS, INFLIGHT_PER_WORKER
 from ..core.compressor import SAGeConfig
 from ..core.kernels import available_kernels
 from ..core.mismatch import OptLevel
+from ..core.selection import STREAM_GROUPS, StreamSelection
 from ..mapping.batch import available_mappers
 
 __all__ = ["EngineOptions", "ON_ERROR", "resolve_stream_options"]
@@ -91,6 +92,15 @@ class EngineOptions:
         ``4`` (checksummed), ``3`` (pre-checksum layout), or ``0`` =
         auto (preserve a loaded archive's version; write 4 for newly
         built archives).
+    streams:
+        Explicit stream-selective decode override: a tuple of stream
+        group names from
+        :data:`repro.core.selection.STREAM_GROUPS`
+        (``sequence``/``quality``/``headers``/``order``).  ``None``
+        (default) lets each consumer decide — the streaming executor
+        unions the attached sinks' ``requires`` declarations, and
+        direct decodes take everything.  Groups not listed are skipped
+        outright at decode time (lazy, not decoded-and-dropped).
     """
 
     workers: int = 1
@@ -106,6 +116,7 @@ class EngineOptions:
     block_retries: int = 1
     block_timeout: float | None = None
     format_version: int = 0
+    streams: tuple[str, ...] | None = None
 
     def __post_init__(self) -> None:
         if isinstance(self.level, str):
@@ -155,6 +166,20 @@ class EngineOptions:
             raise ValueError(
                 f"format_version must be 0 (auto), 3, or 4, "
                 f"got {self.format_version!r}")
+        if self.streams is not None:
+            if isinstance(self.streams, str):
+                streams: tuple[str, ...] = (self.streams,)
+            else:
+                streams = tuple(self.streams)
+            for name in streams:
+                if name not in STREAM_GROUPS:
+                    raise ValueError(
+                        f"unknown stream group {name!r}; expected a "
+                        f"subset of {STREAM_GROUPS}")
+            # Normalizing to STREAM_GROUPS order also validates the
+            # quality-requires-sequence invariant (from_spec raises).
+            object.__setattr__(
+                self, "streams", StreamSelection.from_spec(streams).names)
 
     # ------------------------------------------------------------------
     # Derived views
@@ -225,6 +250,8 @@ class EngineOptions:
             "block_retries": self.block_retries,
             "block_timeout": self.block_timeout,
             "format_version": self.format_version,
+            "streams": list(self.streams) if self.streams is not None
+            else None,
         }
 
 

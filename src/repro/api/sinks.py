@@ -75,6 +75,11 @@ class CallableSink:
     accept bare callables.
     """
 
+    #: A bare callable's needs are unknown: request the full decode.
+    #: Wrap in a sink with a narrower ``requires`` (or set
+    #: ``EngineOptions.streams``) to opt into selective decode.
+    requires = None
+
     def __init__(self, fn: Callable):
         self._fn = fn
         self._results: list = []

@@ -53,7 +53,8 @@ import json
 import sys
 from pathlib import Path
 
-from .api import EngineOptions, SAGeDataset, available_sinks
+from .api import (EngineOptions, SAGeDataset, StreamSelection,
+                  available_sinks)
 from .core import OptLevel, SAGeArchive, SAGeError
 from .core.container import STREAM_NAMES
 from .core.kernels import available_kernels, resolve_codec
@@ -203,7 +204,13 @@ def _cmd_analyze(args: argparse.Namespace) -> int:
              for name, result in zip(sink_names, results)}
     stream_info = {"blocks": stats.blocks,
                    "peak_inflight_blocks": stats.peak_inflight,
-                   "workers": args.workers}
+                   "workers": args.workers,
+                   # Transport/selection observability: IPC bytes sent
+                   # to pooled workers (0 on in-parent backends) and
+                   # the stream bits each group actually decoded.
+                   "bytes_shipped": stats.bytes_shipped,
+                   "streams_decoded": dict(stats.streams_decoded),
+                   "stream_bits_total": stats.stream_bits_total}
 
     if legacy_layout:
         info = infos[sink_names[0]]
@@ -255,8 +262,10 @@ def _block_info(archive: SAGeArchive, index: int, entry) -> dict:
             "meta_bytes": blk.meta_nbytes(),
             "stream_bytes": sum(len(payload)
                                 for payload, _ in blk.streams.values()),
+            "has_quality": blk.quality is not None,
             "quality_bytes": blk.quality.byte_size
             if blk.quality is not None else 0,
+            "has_headers": blk.headers_blob is not None,
             "headers_bytes": len(blk.headers_blob)
             if blk.headers_blob is not None else 0,
         },
@@ -274,6 +283,11 @@ def _safe_block_info(archive: SAGeArchive, index: int, entry) -> dict:
         return {"index": index, "n_reads": entry.n_reads,
                 "bytes": entry.nbytes, "offset": entry.offset,
                 "crc32": entry.crc32, "error": str(exc)}
+    finally:
+        # Keep inspect's memory at one parsed block: with an mmap-backed
+        # archive the walk re-reads payload bytes from the page cache,
+        # never materializing the whole archive.
+        archive.release_block(index)
 
 
 def _integrity_summary(archive: SAGeArchive) -> str:
@@ -287,19 +301,46 @@ def _integrity_summary(archive: SAGeArchive) -> str:
 
 
 def _archive_info(archive: SAGeArchive) -> dict:
-    """Machine-readable archive metadata (``inspect --json``)."""
+    """Machine-readable archive metadata (``inspect --json``).
+
+    One lazy pass: each block is parsed once for its per-block entry
+    (then released — see :func:`_safe_block_info`), and the archive-wide
+    stream-bit and byte-size totals are accumulated from those entries
+    instead of re-walking every block per stream name.  On an
+    mmap-backed archive only the global header, consensus, and block
+    index stay resident.
+    """
     index = archive.block_index()
-    streams = {}
-    for name in STREAM_NAMES:
-        try:
-            streams[name] = archive.stream_bits(name)
-        except SAGeError:
-            streams[name] = None    # a damaged block breaks the sum
-    try:
-        byte_size = archive.byte_size()
-        dna_byte_size = archive.dna_byte_size()
-    except SAGeError:
+    stream_totals: dict = dict.fromkeys(STREAM_NAMES, 0)
+    stream_totals["consensus"] = archive.streams["consensus"][1]
+    dna_byte_size = archive.header_fixed_nbytes() \
+        + len(archive.streams["consensus"][0])
+    extra_bytes = 0
+    damaged = False
+    blocks_info = []
+    for i, entry in enumerate(index):
+        block_info = _safe_block_info(archive, i, entry)
+        blocks_info.append(block_info)
+        if "error" in block_info:
+            damaged = True
+            continue
+        dna_byte_size += block_info["sections"]["meta_bytes"]
+        for name, bits in block_info["stream_bits"].items():
+            stream_totals[name] += bits
+            dna_byte_size += 8 + (bits + 7) // 8     # framing + payload
+        sections = block_info["sections"]
+        if sections["has_quality"]:
+            extra_bytes += sections["quality_bytes"] + 10
+        if sections["has_headers"]:
+            extra_bytes += sections["headers_bytes"] + 5
+    if damaged:
+        # A damaged block breaks every archive-wide sum, matching the
+        # per-call degradation of archive.stream_bits()/byte_size().
+        stream_totals = {name: None if name != "consensus" else bits
+                         for name, bits in stream_totals.items()}
         byte_size = dna_byte_size = None
+    else:
+        byte_size = dna_byte_size + extra_bytes
     try:
         first = archive.block(0)
     except SAGeError:
@@ -328,14 +369,15 @@ def _archive_info(archive: SAGeArchive) -> dict:
         "headers": first.headers_blob is not None if first else None,
         "block_reads": archive.block_reads,
         "n_blocks": archive.n_blocks,
-        "blocks": [_safe_block_info(archive, i, e)
-                   for i, e in enumerate(index)],
-        "stream_bits": {name: bits for name, bits in sorted(streams.items())},
+        "blocks": blocks_info,
+        "stream_bits": {name: bits
+                        for name, bits in sorted(stream_totals.items())},
         "tables": {key: list(table.widths)
                    for key, table in first.tables.items()} if first else None,
         "byte_size": byte_size,
         "dna_byte_size": dna_byte_size,
     }
+    archive.release_block(0)
     if archive.breakdown.bits:
         info["breakdown_bits"] = dict(archive.breakdown.bits)
     return info
@@ -455,37 +497,67 @@ def _cmd_bench(args: argparse.Namespace) -> int:
         codecs = [resolve_codec(c) for c in codecs]
     except ValueError as exc:
         raise SystemExit(f"sage: {exc}") from None
+    selective = None
+    if args.streams:
+        try:
+            selective = StreamSelection.of(*args.streams).names
+        except ValueError as exc:
+            raise SystemExit(f"sage: {exc}") from None
     reads, consensus, source = _bench_load(args)
     fastq_mb = reads.uncompressed_fastq_bytes() / 1e6
     rows = {}
     blobs = {}
+    shared_archive = None
     for codec in codecs:
         options = _engine_options(codec=codec, level=args.level,
                                   block_reads=args.block_reads,
                                   with_quality=not args.no_quality)
-        enc_best = dec_best = float("inf")
-        archive = None
-        for _ in range(max(1, args.repeat)):
-            t0 = time.perf_counter()
-            dataset = SAGeDataset.from_fastq(reads, reference=consensus,
-                                             options=options)
-            enc_best = min(enc_best, time.perf_counter() - t0)
-            archive = dataset.archive
-        blobs[codec] = archive.to_bytes()
+        enc_best = dec_best = sel_best = float("inf")
+        if args.decode:
+            # Decode-only mode: archives are byte-identical across
+            # kernels, so one untimed encode feeds every decode row.
+            if shared_archive is None:
+                shared_archive = SAGeDataset.from_fastq(
+                    reads, reference=consensus, options=options).archive
+            archive = shared_archive
+        else:
+            archive = None
+            for _ in range(max(1, args.repeat)):
+                t0 = time.perf_counter()
+                dataset = SAGeDataset.from_fastq(
+                    reads, reference=consensus, options=options)
+                enc_best = min(enc_best, time.perf_counter() - t0)
+                archive = dataset.archive
+            blobs[codec] = archive.to_bytes()
         for _ in range(max(1, args.repeat)):
             session = SAGeDataset(archive,
                                   options=EngineOptions(codec=codec))
             t0 = time.perf_counter()
             session.read_set()
             dec_best = min(dec_best, time.perf_counter() - t0)
-        rows[codec] = {"encode_s": round(enc_best, 4),
-                       "decode_s": round(dec_best, 4),
-                       "encode_mb_s": round(fastq_mb / enc_best, 2),
-                       "decode_mb_s": round(fastq_mb / dec_best, 2)}
-    identical = len({blob for blob in blobs.values()}) == 1
+        row = {"decode_s": round(dec_best, 4),
+               "decode_mb_s": round(fastq_mb / dec_best, 2)}
+        if not args.decode:
+            row["encode_s"] = round(enc_best, 4)
+            row["encode_mb_s"] = round(fastq_mb / enc_best, 2)
+        if selective is not None:
+            sel_options = EngineOptions(codec=codec, streams=selective)
+            for _ in range(max(1, args.repeat)):
+                session = SAGeDataset(archive, options=sel_options)
+                t0 = time.perf_counter()
+                session.read_set()
+                sel_best = min(sel_best, time.perf_counter() - t0)
+            row["decode_selective_s"] = round(sel_best, 4)
+            row["decode_selective_mb_s"] = round(fastq_mb / sel_best, 2)
+            row["streams"] = list(selective)
+        rows[codec] = row
+    identical = len({blob for blob in blobs.values()}) == 1 if blobs \
+        else None
     info = {"input": args.input, "source": source,
             "reads": len(reads), "fastq_mb": round(fastq_mb, 3),
-            "repeat": args.repeat, "archives_byte_identical": identical,
+            "repeat": args.repeat, "decode_only": bool(args.decode),
+            "streams": list(selective) if selective is not None else None,
+            "archives_byte_identical": identical,
             "kernels": rows}
     mapper_rows: dict[str, dict] = {}
     if args.encode:
@@ -498,11 +570,24 @@ def _cmd_bench(args: argparse.Namespace) -> int:
         return 0
     print(f"{args.input}: {len(reads)} reads, {fastq_mb:.2f} MB FASTQ "
           f"(best of {args.repeat})")
-    print(f"{'codec':<10}{'encode MB/s':>14}{'decode MB/s':>14}")
+    header = f"{'codec':<10}"
+    if not args.decode:
+        header += f"{'encode MB/s':>14}"
+    header += f"{'decode MB/s':>14}"
+    if selective is not None:
+        header += f"{'selective MB/s':>16}"
+    print(header)
     for codec, row in rows.items():
-        print(f"{codec:<10}{row['encode_mb_s']:>14.2f}"
-              f"{row['decode_mb_s']:>14.2f}")
-    if len(rows) > 1:
+        line = f"{codec:<10}"
+        if not args.decode:
+            line += f"{row['encode_mb_s']:>14.2f}"
+        line += f"{row['decode_mb_s']:>14.2f}"
+        if selective is not None:
+            line += f"{row['decode_selective_mb_s']:>16.2f}"
+        print(line)
+    if selective is not None:
+        print(f"selective decode streams: {', '.join(selective)}")
+    if len(rows) > 1 and identical is not None:
         print("archives byte-identical across kernels: "
               f"{'yes' if identical else 'NO (BUG)'}")
     if mapper_rows:
@@ -714,6 +799,14 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--encode", action="store_true",
                    help="also measure per-mapper-kernel encode rows "
                         "(MB/s plus pre-alignment filter statistics)")
+    p.add_argument("--decode", action="store_true",
+                   help="decode-only benchmark: build the archive once, "
+                        "untimed, and skip the encode rows")
+    p.add_argument("--streams", action="append", default=None,
+                   metavar="NAME",
+                   help="also measure selective decode restricted to "
+                        "these stream groups (repeatable; e.g. "
+                        "--streams sequence)")
     p.add_argument("--mapper", action="append", default=None,
                    metavar="NAME",
                    help="mapper kernel to measure with --encode "

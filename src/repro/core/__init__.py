@@ -1,10 +1,10 @@
 """SAGe core: the paper's compression/decompression contribution (§5)."""
 
 from . import bitio, blocks, errors, formats, kernels, prefix_codes, \
-    quality, tuning
+    quality, selection, tuning
 from .blocks import (BACKENDS, DEFAULT_BLOCK_READS, INFLIGHT_PER_WORKER,
-                     BlockCompressor, compress_blocked, imap_bounded,
-                     partition_reads)
+                     BlockCompressor, BlockDescriptor, compress_blocked,
+                     imap_bounded, partition_reads)
 from .compressor import CompressionError, SAGeCompressor, SAGeConfig, compress
 from .container import (BlockIndexEntry, ContainerError, SAGeArchive,
                         SAGeBlock)
@@ -16,15 +16,17 @@ from .kernels import (CodecKernel, available_kernels, get_kernel,
                       register_kernel, resolve_codec)
 from .mismatch import CATEGORIES, OptLevel, SizeBreakdown
 from .prefix_codes import AssociationTable
+from .selection import STREAM_GROUPS, StreamSelection, decoded_stream_bits
 from .tuning import TuningResult, bit_count_histogram, tune, tune_values
 
 __all__ = [
     "bitio", "blocks", "errors", "formats", "kernels", "prefix_codes",
-    "quality", "tuning",
+    "quality", "selection", "tuning",
     "BlockDecodeError", "CorruptArchiveError", "SAGeError",
     "TruncatedArchiveError",
     "BACKENDS", "DEFAULT_BLOCK_READS", "INFLIGHT_PER_WORKER",
-    "BlockCompressor",
+    "BlockCompressor", "BlockDescriptor",
+    "STREAM_GROUPS", "StreamSelection", "decoded_stream_bits",
     "compress_blocked", "imap_bounded",
     "partition_reads", "CompressionError", "SAGeCompressor", "SAGeConfig",
     "compress", "BlockIndexEntry", "ContainerError", "SAGeArchive",

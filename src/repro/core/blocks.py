@@ -27,7 +27,7 @@ from __future__ import annotations
 import warnings
 from collections import deque
 from concurrent.futures import Executor, ProcessPoolExecutor
-from typing import Callable, Iterable, Iterator
+from typing import Callable, Iterable, Iterator, NamedTuple
 
 import numpy as np
 
@@ -41,8 +41,27 @@ from .formats import pack_bits
 from .mismatch import SizeBreakdown
 
 __all__ = ["BACKENDS", "DEFAULT_BLOCK_READS", "INFLIGHT_PER_WORKER",
-           "BlockCompressor", "block_from_archive", "compress_blocked",
-           "imap_bounded", "partition_reads"]
+           "BlockCompressor", "BlockDescriptor", "block_from_archive",
+           "compress_blocked", "imap_bounded", "partition_reads"]
+
+
+class BlockDescriptor(NamedTuple):
+    """Locates one block's payload inside an archive file.
+
+    The zero-copy IPC unit of the streaming decode engine: instead of
+    pickling a multi-megabyte payload to a pooled worker, the parent
+    ships this ~tens-of-bytes descriptor and the worker slices the
+    payload out of its own ``mmap`` of the archive (opened once in the
+    pool initializer, which also carries the file path).  ``crc32`` is
+    the stored payload digest (``None`` on pre-v4 archives) — the worker
+    verifies it against the mapped view before decoding, so damage is
+    detected with the same typed errors as the in-parent path.
+    """
+
+    index: int
+    offset: int
+    nbytes: int
+    crc32: int | None
 
 #: Default reads-per-block partition size.  Matches the order of the
 #: paper's per-channel section granularity: large enough that Algorithm-1

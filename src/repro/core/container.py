@@ -42,8 +42,10 @@ and header blobs for that block's reads.
 
 from __future__ import annotations
 
+import mmap
 import zlib
 from dataclasses import dataclass, field
+from pathlib import Path
 
 import numpy as np
 
@@ -183,10 +185,13 @@ class SAGeBlock:
         return writer.getvalue()
 
     @classmethod
-    def deserialize(cls, payload: bytes) -> "SAGeBlock":
+    def deserialize(cls, payload: "bytes | memoryview") -> "SAGeBlock":
         """Parse one block payload written by :meth:`serialize`.
 
-        Malformed payloads fail with a typed :class:`SAGeError`
+        ``payload`` may be a zero-copy ``memoryview`` (mmap-backed
+        archives); parsed streams are always materialized as ``bytes``,
+        so a parsed block never pins its source mapping.  Malformed
+        payloads fail with a typed :class:`SAGeError`
         (:class:`CorruptArchiveError` unless a more specific subclass
         applies) — never a bare ``IndexError``/``KeyError``.
         """
@@ -199,7 +204,7 @@ class SAGeBlock:
                 f"malformed block payload ({exc})") from exc
 
     @classmethod
-    def _deserialize(cls, payload: bytes) -> "SAGeBlock":
+    def _deserialize(cls, payload: "bytes | memoryview") -> "SAGeBlock":
         reader = BitReader(payload)
         long_reads = bool(reader.read_bit())
         fixed_length = bool(reader.read_bit())
@@ -310,8 +315,108 @@ class SAGeArchive:
     source_version: int = VERSION
 
     def __post_init__(self) -> None:
-        self._source_blob: bytes | None = None
+        #: Source bytes of a blob-loaded archive.  A ``memoryview`` for
+        #: archives opened with :meth:`open` (zero-copy, mmap-backed);
+        #: plain ``bytes`` for :meth:`from_bytes` on a materialized blob.
+        self._source_blob: bytes | memoryview | None = None
         self._index: list[BlockIndexEntry] | None = None
+        self._mmap: mmap.mmap | None = None
+        #: Path of the backing file for archives opened with :meth:`open`
+        #: — what lets the process-pool decode ship block *descriptors*
+        #: instead of payload bytes (workers re-map the same file).
+        self.source_path: Path | None = None
+
+    # ------------------------------------------------------------------
+    # File-backed (mmap) archives
+    # ------------------------------------------------------------------
+
+    @classmethod
+    def open(cls, path: str | Path) -> "SAGeArchive":
+        """Map an archive file and parse it lazily, zero-copy.
+
+        The file is ``mmap``-ed read-only and parsed through
+        :meth:`from_bytes` over a :class:`memoryview`: only the global
+        header, the consensus stream, and the block index are actually
+        read at open time — block payloads stay untouched (unread
+        pages) until first access, when :meth:`block` hands the parser
+        a zero-copy ``memoryview`` slice whose CRC32 is verified on the
+        view.  No payload is copied on the intact path.
+
+        The archive records its :attr:`source_path`, which is what lets
+        the process-pool streaming decode ship ``(offset, nbytes, crc)``
+        descriptors instead of pickled payloads — workers re-map the
+        same file.  Call :meth:`close` (or let the dataset session do
+        it) to drop the mapping; writers never mutate a mapped file in
+        place (:func:`repro.api.dataset.atomic_write_bytes` replaces the
+        whole file, leaving existing mappings valid).
+        """
+        path = Path(path)
+        with open(path, "rb") as handle:
+            try:
+                mapped = mmap.mmap(handle.fileno(), 0,
+                                   access=mmap.ACCESS_READ)
+            except ValueError as exc:       # an empty file cannot map
+                raise TruncatedArchiveError(
+                    "buffer too short for a SAGe archive header",
+                    offset=0, expected=5, actual=0) from exc
+        view = memoryview(mapped)
+        try:
+            archive = cls.from_bytes(view)
+        except BaseException:
+            view.release()
+            mapped.close()
+            raise
+        if archive._source_blob is None:
+            # Flat shape (v2, or a single-block v3/v4 parsed eagerly):
+            # every stream was copied out; the mapping is not needed.
+            view.release()
+            mapped.close()
+        else:
+            archive._mmap = mapped
+        archive.source_path = path
+        return archive
+
+    @property
+    def file_backed(self) -> bool:
+        """True when block payloads can be re-read from
+        :attr:`source_path` via the block index (descriptor transport
+        is available)."""
+        return (self.source_path is not None
+                and self._source_blob is not None
+                and self._index is not None)
+
+    def close(self) -> None:
+        """Release the memory map behind an :meth:`open`-ed archive.
+
+        Blocks parsed so far keep working (their streams are copies);
+        *unparsed* blocks become inaccessible.  A no-op for archives
+        built in memory or loaded from bytes.  If a payload view is
+        still exported (e.g. an array wrapping it), the mapping is left
+        to the garbage collector instead of invalidating the view.
+        """
+        blob = self._source_blob
+        if isinstance(blob, memoryview):
+            self._source_blob = None
+            blob.release()
+        if self._mmap is not None:
+            try:
+                self._mmap.close()
+            except BufferError:      # an exported payload view lives on
+                pass
+            self._mmap = None
+
+    def release_block(self, index: int) -> None:
+        """Drop the parsed form of block ``index``.
+
+        The inverse of the lazy parse in :meth:`block`: a streaming
+        pass that has fully consumed a block calls this so a whole-
+        archive walk holds O(window) parsed blocks, not O(n_blocks).
+        Only blocks re-parseable from the source blob are dropped;
+        archives built in memory (no source bytes) are untouched.
+        """
+        if self.blocks and self._source_blob is not None \
+                and self._index is not None:
+            self.blocks[index] = None
 
     # ------------------------------------------------------------------
     # Block access
@@ -370,13 +475,15 @@ class SAGeArchive:
         return parsed
 
     def _checked_payload(self, index: int,
-                         entry: BlockIndexEntry) -> bytes:
+                         entry: BlockIndexEntry) -> "bytes | memoryview":
         """Slice block ``index``'s payload from the blob, digest-checked.
 
         The single decode-time integrity gate of v4 archives: any
         payload whose stored CRC32 does not match raises
         :class:`CorruptArchiveError` naming the block and offset, before
-        a single stream bit is parsed.
+        a single stream bit is parsed.  For mmap-backed archives the
+        slice is a zero-copy ``memoryview`` and the CRC runs on the
+        view — no ``bytes()`` copy on the intact path.
         """
         payload = self._source_blob[entry.offset:
                                     entry.offset + entry.nbytes]
@@ -463,6 +570,20 @@ class SAGeArchive:
     def _parsed_blocks(self) -> list[SAGeBlock]:
         return [self.block(i) for i in range(self.n_blocks)]
 
+    def header_fixed_nbytes(self) -> int:
+        """Header material that needs no block parsing.
+
+        The global header, the consensus stream framing, and the block
+        index.  Unlike :meth:`header_bytes_estimate` this never touches
+        a block payload, so lazy consumers (``sage inspect``) can price
+        the fixed overhead without materializing any block.
+        """
+        version = self._layout_version()
+        total = len(self._global_header_blob(version))
+        total += self._consensus_framing_nbytes(version)
+        total += (_index_entry_bits(version) // 8) * self.n_blocks
+        return total
+
     def header_bytes_estimate(self) -> int:
         """Serialized size of all header material (global + per block).
 
@@ -470,10 +591,7 @@ class SAGeArchive:
         block index, and per-block headers (flags + tables) — everything
         that is not stream/quality/header payload bytes.
         """
-        version = self._layout_version()
-        total = len(self._global_header_blob(version))
-        total += self._consensus_framing_nbytes(version)
-        total += (_index_entry_bits(version) // 8) * self.n_blocks
+        total = self.header_fixed_nbytes()
         total += sum(b.meta_nbytes() for b in self._parsed_blocks())
         return total
 
@@ -629,8 +747,12 @@ class SAGeArchive:
         return writer.getvalue()
 
     @classmethod
-    def from_bytes(cls, blob: bytes) -> "SAGeArchive":
+    def from_bytes(cls, blob: "bytes | memoryview") -> "SAGeArchive":
         """Deserialize an archive written by :meth:`to_bytes` (v2–v4).
+
+        ``blob`` may be any byte buffer — :meth:`open` passes a
+        ``memoryview`` over an mmap, keeping block payloads unread
+        until first access.
 
         Malformed input fails with the taxonomy of
         :mod:`repro.core.errors`: a short buffer raises

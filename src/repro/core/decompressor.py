@@ -36,6 +36,7 @@ from .errors import (BlockDecodeError, DecompressionError,  # noqa: F401
 from .formats import unpack_bits
 from .kernels import resolve_kernel
 from .mismatch import INDEL_INS, TYPE_DEL, TYPE_INS, TYPE_SUB, OptLevel
+from .selection import StreamSelection
 
 
 def renumber_fallback_headers(read_set: ReadSet, base: int,
@@ -82,7 +83,8 @@ class SAGeDecompressor:
     # ------------------------------------------------------------------
 
     def decompress(self, *, workers: int | None = None,
-                   options=None, header_base: int | None = None) -> ReadSet:
+                   options=None, header_base: int | None = None,
+                   select=None) -> ReadSet:
         """Decode every read (and quality scores, if present).
 
         Blocked (v3 multi-section) archives are decoded block by block
@@ -100,27 +102,47 @@ class SAGeDecompressor:
         numbering without a second renaming pass.  ``None`` (default)
         keeps the flat-archive naming; archives storing real headers
         ignore it either way.
+
+        ``select`` (:class:`~repro.core.selection.StreamSelection`, a
+        group-name iterable, or ``None`` = everything) limits the decode
+        to the requested stream groups: unselected groups are skipped
+        outright, not decoded-and-dropped.  Skipping ``sequence`` yields
+        empty-code placeholder reads; skipping ``order`` emits reads in
+        the codec's emission order (identical content, for
+        order-insensitive consumers).  An explicit ``select`` wins over
+        ``options.streams``.
         """
         from ..api.options import resolve_stream_options
         options = resolve_stream_options(
             options, workers=workers,
             caller="SAGeDecompressor.decompress")
+        if select is None:
+            select = getattr(options, "streams", None)
+        select = StreamSelection.from_spec(select)
         if self.archive.is_blocked:
-            return self._decompress_blocked(options)
-        try:
-            codes = resolve_kernel(self._effective_codec(options)) \
-                .decode_reads(self)
-        except SAGeError:
-            raise
-        except (IndexError, KeyError, OverflowError, ValueError) as exc:
-            # Corrupt streams drive the kernels out of range; never let
-            # that escape as a bare IndexError/KeyError.
-            raise DecompressionError(
-                f"read reconstruction failed "
-                f"({type(exc).__name__}: {exc})") from exc
-        n_reads = len(codes)
+            return self._decompress_blocked(options, select)
+        if select.sequence:
+            try:
+                codes = resolve_kernel(self._effective_codec(options)) \
+                    .decode_reads(self, select=select)
+            except SAGeError:
+                raise
+            except (IndexError, KeyError, OverflowError, ValueError) as exc:
+                # Corrupt streams drive the kernels out of range; never
+                # let that escape as a bare IndexError/KeyError.
+                raise DecompressionError(
+                    f"read reconstruction failed "
+                    f"({type(exc).__name__}: {exc})") from exc
+            n_reads = len(codes)
+        else:
+            # Sequence deselected: reads become empty placeholders so
+            # counting consumers (and header-only passes) still see the
+            # right cardinality without touching the sequence streams.
+            n_reads = self.archive.n_reads
+            empty = np.empty(0, dtype=np.uint8)
+            codes = [empty] * n_reads
         qualities: list[np.ndarray | None] = [None] * n_reads
-        if self.archive.quality is not None:
+        if select.quality and self.archive.quality is not None:
             scores = quality_codec.decompress(self.archive.quality)
             offset = 0
             for i, read_codes in enumerate(codes):
@@ -133,14 +155,14 @@ class SAGeDecompressor:
                     f"need {offset}")
         name = self.archive.name or "sage"
         header_list = None
-        if self.archive.headers_blob is not None:
+        if select.headers and self.archive.headers_blob is not None:
             header_list = headers_codec.decompress_headers(
                 self.archive.headers_blob)
             if len(header_list) != n_reads:
                 raise DecompressionError(
                     f"{len(header_list)} headers for {n_reads} reads")
         emit_order = self._emission_order(n_reads) \
-            if self.archive.preserve_order else None
+            if self.archive.preserve_order and select.order else None
         indices = emit_order if emit_order is not None else range(n_reads)
         if header_list is not None:
             reads = [Read(codes=codes[j], quality=qualities[j],
@@ -185,32 +207,39 @@ class SAGeDecompressor:
         return self.codec
 
     def decompress_block(self, index: int, *,
-                         codec: str | None = None) -> ReadSet:
+                         codec: str | None = None,
+                         select=None) -> ReadSet:
         """Decode only block ``index`` of the archive.
 
         Random access: the block view shares the consensus stream but
         reads no other block's streams, mirroring the per-channel
         independent decode of §5.3.  On a flat archive only block 0
         exists and equals the whole read set.  ``codec`` overrides the
-        decoder's session kernel for this block.
+        decoder's session kernel for this block; ``select``
+        (:class:`~repro.core.selection.StreamSelection` spec) limits the
+        decode to the requested stream groups.
 
         Any failure — corrupt payload, truncated stream, inconsistent
         content — surfaces as :class:`BlockDecodeError` carrying the
         block index, the unit of skip/salvage recovery.
         """
         arch = self.archive
+        select = StreamSelection.from_spec(select)
         try:
             view = arch.block_view(index)
             base: int | None = None       # None = flat-archive naming
-            if arch.is_blocked and view.headers_blob is None:
+            if arch.is_blocked and (view.headers_blob is None
+                                    or not select.headers):
                 # The offset is known from the index alone; no other
                 # block is decoded, and the fallback headers come out
-                # globally numbered in one pass.
+                # globally numbered in one pass.  A selection that
+                # skips real headers takes the same numbering so block
+                # read names stay globally unique.
                 base = sum(entry.n_reads
                            for entry in arch.block_index()[:index])
             return SAGeDecompressor(view, consensus=self.consensus,
                                     codec=codec or self.codec) \
-                .decompress(header_base=base)
+                .decompress(header_base=base, select=select)
         except IndexError:
             # Out-of-range block index is caller error, not corruption.
             raise
@@ -247,17 +276,29 @@ class SAGeDecompressor:
             options, workers=workers, backend=backend, prefetch=prefetch,
             caller="SAGeDecompressor.iter_block_read_sets")
         if options.workers == 1 and options.backend in ("auto", "serial"):
-            return self._iter_blocks_serial(self._effective_codec(options))
+            select = StreamSelection.from_spec(
+                getattr(options, "streams", None))
+            return self._iter_blocks_serial(self._effective_codec(options),
+                                            select)
         from ..api.dataset import SAGeDataset
         return SAGeDataset(self.archive, options=options,
                            decompressor=self).blocks()
 
-    def _iter_blocks_serial(self, codec: str | None = None
+    def _iter_blocks_serial(self, codec: str | None = None,
+                            select: StreamSelection | None = None
                             ) -> Iterator[ReadSet]:
         for index in range(self.archive.n_blocks):
-            yield self.decompress_block(index, codec=codec)
+            yield self.decompress_block(index, codec=codec, select=select)
+            # Keep a whole-archive walk at O(1) parsed blocks: the
+            # consumed block re-parses from the source blob on any later
+            # random access.
+            self.archive.release_block(index)
 
-    def _decompress_blocked(self, options) -> ReadSet:
+    def _decompress_blocked(self, options,
+                            select: StreamSelection | None = None
+                            ) -> ReadSet:
+        if select is not None:
+            options = options.replace(streams=select.names)
         reads: list[Read] = []
         for block_set in self.iter_block_read_sets(options=options):
             reads.extend(block_set)

@@ -983,8 +983,16 @@ class CodecKernel:
         """A fresh ``BitWriter``-compatible sink for one stream."""
         raise NotImplementedError
 
-    def decode_reads(self, decompressor) -> list[np.ndarray]:
-        """Per-read base-code arrays of a flat archive, emission order."""
+    def decode_reads(self, decompressor, select=None) -> list[np.ndarray]:
+        """Per-read base-code arrays of a flat archive, emission order.
+
+        ``select`` (:class:`~repro.core.selection.StreamSelection` or
+        ``None`` = everything) is the stream-selective decode request.
+        Kernels own only the *sequence* group — the decompressor never
+        calls a kernel when sequence is deselected — so the in-tree
+        kernels treat it as informational; custom kernels may use it to
+        skip work for sub-streams they decode speculatively.
+        """
         raise NotImplementedError
 
 
@@ -996,7 +1004,7 @@ class PythonKernel(CodecKernel):
     def new_writer(self, stream_name: str = "") -> BitWriter:
         return BitWriter()
 
-    def decode_reads(self, decompressor) -> list[np.ndarray]:
+    def decode_reads(self, decompressor, select=None) -> list[np.ndarray]:
         return list(decompressor.iter_read_codes())
 
 
@@ -1008,7 +1016,7 @@ class NumpyKernel(CodecKernel):
     def new_writer(self, stream_name: str = "") -> TokenWriter:
         return TokenWriter(stream_name)
 
-    def decode_reads(self, decompressor) -> list[np.ndarray]:
+    def decode_reads(self, decompressor, select=None) -> list[np.ndarray]:
         return _decode_reads_batched(decompressor)
 
 

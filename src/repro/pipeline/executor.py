@@ -25,8 +25,11 @@ dataset is never materialized.
 
 from __future__ import annotations
 
+import mmap
+import pickle
 import time
 import warnings
+import zlib
 from concurrent.futures import Executor, ProcessPoolExecutor, \
     ThreadPoolExecutor
 from dataclasses import dataclass, field
@@ -35,11 +38,14 @@ from typing import Iterable, Iterator, Protocol, runtime_checkable
 
 import numpy as np
 
-from ..core.blocks import BACKENDS, imap_bounded
+from ..core.blocks import BACKENDS, BlockDescriptor, imap_bounded
 from ..core.container import SAGeArchive, SAGeBlock, block_as_archive
 from ..core.decompressor import SAGeDecompressor
-from ..core.errors import SAGeError
+from ..core.errors import BlockDecodeError, CorruptArchiveError, \
+    SAGeError, TruncatedArchiveError
 from ..core.formats import unpack_bits
+from ..core.selection import STREAM_GROUPS, StreamSelection, \
+    decoded_stream_bits
 from ..genomics import fastq
 from ..genomics.reads import Read, ReadSet
 from ..mapping.mapper import MapperConfig, ReadMapper
@@ -47,6 +53,12 @@ from ..mapping.mapper import MapperConfig, ReadMapper
 __all__ = ["BACKENDS", "BlockGap", "CollectSink", "ExecutorStats",
            "FastqSink", "MappingRateReport", "MappingRateSink",
            "PropertySink", "Sink", "StreamExecutor", "stream_read_sets"]
+
+#: Estimated pickle/task framing bytes around one shipped payload.  Used
+#: for the ``bytes_shipped`` counter on the payload (non-mmap) transport
+#: so the megabyte-scale payload is not serialized twice just to be
+#: measured; descriptor tasks are tiny and measured exactly.
+_TASK_FRAMING_NBYTES = 48
 
 
 @dataclass(frozen=True)
@@ -82,9 +94,32 @@ class ExecutorStats:
     blocks_retried: int = 0     # blocks that needed >= 1 retry attempt
     blocks_skipped: int = 0     # failed blocks turned into gaps
     gaps: list = field(default_factory=list)   # BlockGap per lost block
+    #: IPC bytes submitted to pooled workers (task payloads).  Under
+    #: descriptor transport this is tens of bytes per block; under
+    #: payload pickling it is the payload size — the fig23 transport
+    #: ratio is exactly the quotient of these two counters.
+    bytes_shipped: int = 0
+    #: Stream bits actually decoded, per stream group (see
+    #: :data:`repro.core.selection.STREAM_GROUPS`).  What makes
+    #: selective-decode savings observable rather than inferred.
+    streams_decoded: dict = field(default_factory=dict)
 
     def note_depth(self, depth: int) -> None:
         self.peak_inflight = max(self.peak_inflight, depth)
+
+    def note_shipped(self, nbytes: int) -> None:
+        self.bytes_shipped += nbytes
+
+    def note_streams(self, bits: "dict[str, int] | None") -> None:
+        if bits:
+            for group, n in bits.items():
+                self.streams_decoded[group] = \
+                    self.streams_decoded.get(group, 0) + n
+
+    @property
+    def stream_bits_total(self) -> int:
+        """All stream bits decoded across groups in this pass."""
+        return sum(self.streams_decoded.values())
 
 
 @runtime_checkable
@@ -97,6 +132,14 @@ class Sink(Protocol):
     may additionally define ``consume_gap(gap: BlockGap)`` to observe
     blocks lost under ``on_error="skip"/"salvage"``; sinks without the
     hook simply never see the lost block.
+
+    Sinks may also declare ``requires`` — a tuple of stream group names
+    (:data:`repro.core.selection.STREAM_GROUPS`) naming what they
+    actually consume.  :meth:`StreamExecutor.run` decodes only the
+    union of the attached sinks' declarations, so an aggregate sink
+    never pays for quality or header decode it will not read.  Sinks
+    without the attribute (or declaring ``None``) conservatively
+    request everything, which is also the pre-declaration behaviour.
     """
 
     def consume(self, index: int, block: ReadSet) -> None:
@@ -107,9 +150,12 @@ class Sink(Protocol):
 
 
 # ----------------------------------------------------------------------
-# Process-pool plumbing.  The shared consensus and global archive fields
-# ship once per worker via the pool initializer; per-block submissions
-# carry only the block's payload bytes (mirroring repro.core.blocks).
+# Process-pool plumbing.  The shared consensus, global archive fields,
+# archive path, and stream selection ship once per worker via the pool
+# initializer; per-block submissions carry a ~tens-of-bytes
+# BlockDescriptor for file-backed archives (the worker slices its own
+# mmap) and fall back to pickled payload bytes only for archives that
+# exist purely in memory (mirroring repro.core.blocks).
 # ----------------------------------------------------------------------
 
 
@@ -125,27 +171,52 @@ class _ArchiveTemplate:
     name: str
     source_version: int
     codec: str = "auto"
+    #: Archive file path for descriptor transport (``None`` = payload
+    #: transport; workers then never touch the filesystem).
+    path: str | None = None
+    #: Stream-selection group names (``None`` = decode everything).
+    streams: tuple[str, ...] | None = None
 
 
-#: (template, unpacked consensus) installed by the pool initializer.
-_decode_state: tuple[_ArchiveTemplate, np.ndarray] | None = None
+#: (template, unpacked consensus, archive mmap or None) installed by the
+#: pool initializer.
+_decode_state: \
+    "tuple[_ArchiveTemplate, np.ndarray, mmap.mmap | None] | None" = None
 
 
 def _init_decode_worker(template: _ArchiveTemplate) -> None:
-    """Pool initializer: unpack the consensus once per process."""
+    """Pool initializer: unpack the consensus and map the archive once.
+
+    A failed mapping (file moved/deleted between parent open and worker
+    start) is not fatal here — descriptor tasks then raise a typed
+    error and the parent's retry path re-decodes the block serially
+    from its own mapping.
+    """
     global _decode_state
     consensus = unpack_bits(template.consensus_stream[0], 2,
                             template.consensus_length)
-    _decode_state = (template, consensus)
+    mapping: mmap.mmap | None = None
+    if template.path is not None:
+        try:
+            with open(template.path, "rb") as handle:
+                mapping = mmap.mmap(handle.fileno(), 0,
+                                    access=mmap.ACCESS_READ)
+        except (OSError, ValueError):
+            mapping = None
+    _decode_state = (template, consensus, mapping)
 
 
 def _decode_payload(template: _ArchiveTemplate, consensus: np.ndarray,
-                    payload: bytes, base_reads: int) -> ReadSet:
+                    payload: "bytes | memoryview", base_reads: int
+                    ) -> "tuple[ReadSet, dict[str, int]]":
     """Decode one serialized block payload against the shared consensus.
 
     Pure function of its arguments — determinism here is what makes the
-    parallel decode byte-identical to the serial one.
+    parallel decode byte-identical to the serial one.  Returns the
+    block's reads plus the per-group stream-bit accounting of what the
+    selection actually decoded.
     """
+    select = StreamSelection.from_spec(template.streams)
     blk = SAGeBlock.deserialize(payload)
     view = block_as_archive(
         blk, level=template.level,
@@ -154,25 +225,61 @@ def _decode_payload(template: _ArchiveTemplate, consensus: np.ndarray,
         w_cons=template.w_cons,
         preserve_order=template.preserve_order, name=template.name,
         source_version=template.source_version)
-    base = base_reads if blk.headers_blob is None else None
-    return SAGeDecompressor(view, consensus=consensus,
-                            codec=template.codec) \
-        .decompress(header_base=base)
+    base = base_reads if blk.headers_blob is None or not select.headers \
+        else None
+    read_set = SAGeDecompressor(view, consensus=consensus,
+                                codec=template.codec) \
+        .decompress(header_base=base, select=select)
+    return read_set, decoded_stream_bits(blk, select)
 
 
-def _decode_task(task: tuple[bytes, int, Exception | None]) -> ReadSet:
+def _descriptor_payload(descriptor: BlockDescriptor,
+                        mapping: "mmap.mmap | None") -> memoryview:
+    """Slice (and digest-check) one block payload from the worker mmap.
+
+    The worker-side twin of ``SAGeArchive._checked_payload``: the CRC
+    runs on the zero-copy view, and damage surfaces as the same typed
+    errors the in-parent path raises — so the retry/skip/salvage policy
+    sees one failure shape regardless of where the check happened.
+    """
+    index, offset, nbytes, crc = descriptor
+    if mapping is None:
+        raise BlockDecodeError(
+            "descriptor transport without a mapped archive (worker "
+            "could not open the archive file)", block_index=index)
+    view = memoryview(mapping)[offset:offset + nbytes]
+    if len(view) != nbytes:
+        raise TruncatedArchiveError(
+            f"block {index} payload extends past the mapped file",
+            block_index=index, offset=offset, expected=nbytes,
+            actual=len(view))
+    if crc is not None and zlib.crc32(view) != crc:
+        raise CorruptArchiveError(
+            f"block {index} payload failed its CRC32 digest check",
+            block_index=index, offset=offset)
+    return view
+
+
+def _decode_task(task: "tuple[bytes | None, BlockDescriptor | None, int, "
+                       "Exception | None]"
+                 ) -> "tuple[ReadSet, dict[str, int]]":
     """Process-pool entry point; reads the initializer-installed state.
 
-    A task carrying an exception is a *poison task*: the parent already
-    knows the block is bad (its payload checksum failed at slice time)
-    and routes the failure through the same worker-failure path as a
-    genuine decode crash, so the retry/skip policy sees one shape.
+    A task ships either pickled payload bytes *or* a
+    :class:`BlockDescriptor` the worker resolves against its own mmap
+    of the archive.  A task carrying an exception is a *poison task*:
+    the parent already knows the block is bad (its payload checksum
+    failed at slice time) and routes the failure through the same
+    worker-failure path as a genuine decode crash, so the retry/skip
+    policy sees one shape.
     """
     assert _decode_state is not None, "worker initializer did not run"
-    template, consensus = _decode_state
-    payload, base_reads, poison = task
+    template, consensus, mapping = _decode_state
+    payload, descriptor, base_reads, poison = task
     if poison is not None:
         raise poison
+    if payload is None:
+        payload = _descriptor_payload(descriptor, mapping)
     return _decode_payload(template, consensus, payload, base_reads)
 
 
@@ -246,6 +353,28 @@ class StreamExecutor:
                                                   codec=self.codec)
         return self._decompressor
 
+    def selection_for(self, sinks: "tuple[Sink, ...]" = ()
+                      ) -> StreamSelection:
+        """The stream groups a pass over ``sinks`` must decode.
+
+        ``options.streams`` is an explicit override; otherwise the
+        union of the sinks' ``requires`` declarations decides, with any
+        declaration-less sink (or an empty sink list) conservatively
+        requesting everything.
+        """
+        explicit = getattr(self.options, "streams", None)
+        if explicit is not None:
+            return StreamSelection.from_spec(explicit)
+        if not sinks:
+            return StreamSelection.all_streams()
+        union = StreamSelection.none()
+        for sink in sinks:
+            required = getattr(sink, "requires", None)
+            if required is None:
+                return StreamSelection.all_streams()
+            union = union.union(StreamSelection.from_spec(required))
+        return union
+
     def __iter__(self) -> Iterator[ReadSet]:
         """Yield each block's reads in index order.
 
@@ -253,9 +382,11 @@ class StreamExecutor:
         start of every iteration).  Under ``on_error="skip"/"salvage"``
         blocks lost to corruption are omitted here; their
         :class:`BlockGap` records accumulate in ``stats.gaps`` (and are
-        delivered to sinks in :meth:`run`).
+        delivered to sinks in :meth:`run`).  ``options.streams`` limits
+        the decode to the named stream groups; without it, plain
+        iteration decodes everything.
         """
-        for _index, item in self._iter_indexed():
+        for _index, item in self._iter_indexed(self.selection_for()):
             if isinstance(item, ReadSet):
                 yield item
 
@@ -269,10 +400,15 @@ class StreamExecutor:
         ``on_error="skip"/"salvage"`` reaches each sink's optional
         ``consume_gap`` hook instead, so ordered consumers can account
         for the hole.
+
+        Only the union of the sinks' ``requires`` declarations is
+        decoded (``options.streams`` overrides): an analysis pass whose
+        sinks consume only base codes never pays for quality or header
+        decode.
         """
         if not sinks:
             raise ValueError("need at least one sink")
-        for index, item in self._iter_indexed():
+        for index, item in self._iter_indexed(self.selection_for(sinks)):
             if isinstance(item, BlockGap):
                 for sink in sinks:
                     hook = getattr(sink, "consume_gap", None)
@@ -287,23 +423,29 @@ class StreamExecutor:
     # Backends
     # ------------------------------------------------------------------
 
-    def _iter_indexed(self) -> Iterator[tuple[int, "ReadSet | BlockGap"]]:
+    def _iter_indexed(self, select: StreamSelection
+                      ) -> Iterator[tuple[int, "ReadSet | BlockGap"]]:
         """Yield ``(block_index, ReadSet | BlockGap)`` in index order."""
         self.stats = ExecutorStats()
         start = time.perf_counter()
         backend = self.resolved_backend
         if backend == "serial":
-            source = self._iter_serial()
+            source = self._iter_serial(select)
         elif backend == "thread":
-            source = self._iter_threaded()
+            source = self._iter_threaded(select)
         else:
-            source = self._iter_process()
+            source = self._iter_process(select)
         try:
             yield from enumerate(source)
         finally:
             self.stats.wall_s = time.perf_counter() - start
 
-    def _account(self, item: "ReadSet | BlockGap") -> "ReadSet | BlockGap":
+    def _account(self, item) -> "ReadSet | BlockGap":
+        if isinstance(item, tuple):
+            # Decode functions return (reads, per-group stream bits);
+            # failure-policy results arrive bare.
+            item, stream_bits = item
+            self.stats.note_streams(stream_bits)
         if isinstance(item, ReadSet):
             self.stats.blocks += 1
             self.stats.reads += len(item)
@@ -317,7 +459,9 @@ class StreamExecutor:
         return arch.n_mapped + arch.n_unmapped
 
     def _resolve_failure(self, index: int, exc: Exception, *,
-                         pooled: bool) -> "ReadSet | BlockGap":
+                         pooled: bool,
+                         select: StreamSelection | None = None
+                         ) -> "ReadSet | BlockGap":
         """Apply the retry + ``on_error`` policy to one failed block.
 
         ``pooled`` marks failures from a worker pool: those get
@@ -345,7 +489,8 @@ class StreamExecutor:
             for codec in codecs:
                 try:
                     return self.decompressor() \
-                        .decompress_block(index, codec=codec)
+                        .decompress_block(index, codec=codec,
+                                          select=select)
                 except Exception as retry_exc:
                     last = retry_exc
         self.stats.blocks_failed += 1
@@ -356,46 +501,83 @@ class StreamExecutor:
         self.stats.gaps.append(gap)
         return gap
 
-    def _iter_serial(self) -> Iterator["ReadSet | BlockGap"]:
+    def _decode_in_parent(self, decoder: SAGeDecompressor, index: int,
+                          select: StreamSelection
+                          ) -> "tuple[ReadSet, dict[str, int]]":
+        """Serial/thread decode of one block, with stream accounting.
+
+        The consumed block's parsed form is released afterwards so a
+        whole-archive pass over a file-backed (mmap) archive keeps
+        O(window) parsed blocks in memory, not O(n_blocks).
+        """
+        arch = self.archive
+        read_set = decoder.decompress_block(index, codec=self.codec,
+                                            select=select)
+        source = arch.block(index) if arch.is_blocked else arch
+        stream_bits = decoded_stream_bits(source, select)
+        arch.release_block(index)
+        return read_set, stream_bits
+
+    def _iter_serial(self, select: StreamSelection
+                     ) -> Iterator["ReadSet | BlockGap"]:
         decoder = self.decompressor()
         for index in range(self.archive.n_blocks):
             self.stats.note_depth(1)
             try:
-                item: "ReadSet | BlockGap" = decoder.decompress_block(
-                    index, codec=self.codec)
+                item = self._decode_in_parent(decoder, index, select)
             except Exception as exc:
-                item = self._resolve_failure(index, exc, pooled=False)
+                item = self._resolve_failure(index, exc, pooled=False,
+                                             select=select)
             yield self._account(item)
 
-    def _iter_threaded(self) -> Iterator["ReadSet | BlockGap"]:
+    def _iter_threaded(self, select: StreamSelection
+                       ) -> Iterator["ReadSet | BlockGap"]:
         decoder = self.decompressor()
         if self.archive.is_blocked:
             self.archive.block_index()       # pre-build: no lazy races
-        decode = partial(decoder.decompress_block, codec=self.codec)
+        decode = partial(self._decode_in_parent, decoder, select=select)
         with ThreadPoolExecutor(max_workers=self.workers) as pool:
             yield from self._drain(pool, decode,
-                                   range(self.archive.n_blocks))
+                                   range(self.archive.n_blocks), select)
 
-    def _iter_process(self) -> Iterator["ReadSet | BlockGap"]:
+    def _iter_process(self, select: StreamSelection
+                      ) -> Iterator["ReadSet | BlockGap"]:
         arch = self.archive
+        descriptors = arch.file_backed
         template = _ArchiveTemplate(
             level=arch.level,
             consensus_stream=arch.streams["consensus"],
             consensus_length=arch.consensus_length, w_cons=arch.w_cons,
             preserve_order=arch.preserve_order, name=arch.name,
-            source_version=arch.source_version, codec=self.codec)
+            source_version=arch.source_version, codec=self.codec,
+            path=str(arch.source_path) if descriptors else None,
+            streams=None if select.is_all else select.names)
         index = arch.block_index()
 
-        def tasks() -> Iterator[tuple[bytes, int, Exception | None]]:
+        def tasks() -> Iterator[tuple]:
             base = 0
             for i, entry in enumerate(index):
-                try:
-                    yield arch.block_payload(i), base, None
-                except SAGeError as exc:
-                    # Payload checksum failed in the parent: ship a
-                    # poison task so the failure takes the same path as
-                    # a worker-side decode crash.
-                    yield b"", base, exc
+                if descriptors:
+                    # Zero-copy transport: ship where the payload lives,
+                    # not the payload.  The CRC check moves to the
+                    # worker, against its own mapping of the same file.
+                    task = (None, BlockDescriptor(i, entry.offset,
+                                                  entry.nbytes,
+                                                  entry.crc32),
+                            base, None)
+                    self.stats.note_shipped(len(pickle.dumps(task)))
+                else:
+                    try:
+                        payload = bytes(arch.block_payload(i))
+                        task = (payload, None, base, None)
+                        self.stats.note_shipped(
+                            len(payload) + _TASK_FRAMING_NBYTES)
+                    except SAGeError as exc:
+                        # Payload checksum failed in the parent: ship a
+                        # poison task so the failure takes the same
+                        # path as a worker-side decode crash.
+                        task = (b"", None, base, exc)
+                yield task
                 base += entry.n_reads
 
         try:
@@ -406,14 +588,16 @@ class StreamExecutor:
             warnings.warn(f"process pool unavailable ({exc}); "
                           "falling back to serial block decode",
                           RuntimeWarning, stacklevel=2)
-            yield from self._iter_serial()
+            yield from self._iter_serial(select)
             return
         with pool:
-            yield from self._drain(pool, _decode_task, tasks())
+            yield from self._drain(pool, _decode_task, tasks(), select)
 
-    def _drain(self, pool: Executor, fn, items: Iterable
+    def _drain(self, pool: Executor, fn, items: Iterable,
+               select: StreamSelection
                ) -> Iterator["ReadSet | BlockGap"]:
-        failure = partial(self._resolve_failure, pooled=True)
+        failure = partial(self._resolve_failure, pooled=True,
+                          select=select)
         for item in imap_bounded(
                 pool, fn, items, self.window,
                 depth_probe=self.stats.note_depth,
@@ -450,6 +634,9 @@ class FastqSink:
     dataset: the global read index keeps fallback read names stable.
     """
 
+    #: FASTQ is the full record: every stream group must decode.
+    requires = STREAM_GROUPS
+
     def __init__(self, handle):
         self.handle = handle
         self.n_reads = 0
@@ -473,6 +660,9 @@ class FastqSink:
 class CollectSink:
     """Materializes the stream into one :class:`ReadSet` (for tests and
     consumers that genuinely need the whole dataset)."""
+
+    #: Materialization must be byte-faithful: decode everything.
+    requires = STREAM_GROUPS
 
     def __init__(self):
         self._reads: list[Read] = []
@@ -510,6 +700,10 @@ class MappingRateReport:
 class MappingRateSink:
     """Maps every streamed read and tallies the mapping rate."""
 
+    #: Maps base codes only: no quality, headers, or order decode — an
+    #: aggregate rate is insensitive to read order.
+    requires = ("sequence",)
+
     def __init__(self, reference: np.ndarray,
                  mapper_config: MapperConfig | None = None):
         self._mapper = ReadMapper(np.asarray(reference, dtype=np.uint8),
@@ -528,6 +722,10 @@ class MappingRateSink:
 
 class PropertySink:
     """Streams blocks into the Fig. 7 / Fig. 10 property analysis."""
+
+    #: Property aggregation reads sequences and quality scores but
+    #: never headers; the distributions are order-insensitive.
+    requires = ("sequence", "quality")
 
     def __init__(self, reference: np.ndarray,
                  mapper_config: MapperConfig | None = None):
