@@ -14,6 +14,7 @@ from __future__ import annotations
 
 import dataclasses
 from dataclasses import dataclass
+from typing import Any
 
 from .._compat import warn_once
 from ..core.blocks import BACKENDS, DEFAULT_BLOCK_READS, INFLIGHT_PER_WORKER
@@ -206,24 +207,25 @@ class EngineOptions:
         """Maximum blocks in flight (submitted but not yet consumed)."""
         return max(1, self.workers * self.effective_prefetch)
 
-    def replace(self, **changes) -> "EngineOptions":
+    def replace(self, **changes: Any) -> "EngineOptions":
         """A copy with ``changes`` applied (re-validated)."""
         return dataclasses.replace(self, **changes)
 
-    def compressor_config(self, **overrides) -> SAGeConfig:
+    def compressor_config(self, **overrides: Any) -> SAGeConfig:
         """A :class:`SAGeConfig` reflecting these options.
 
         Only the fields EngineOptions carries are set; everything else
         keeps the :class:`SAGeConfig` defaults (override via kwargs).
         """
-        kwargs = dict(level=self.level, with_quality=self.with_quality,
-                      long_reads=self.long_reads, codec=self.codec,
-                      mapper_kernel=self.mapper)
+        kwargs: dict[str, Any] = dict(
+            level=self.level, with_quality=self.with_quality,
+            long_reads=self.long_reads, codec=self.codec,
+            mapper_kernel=self.mapper)
         kwargs.update(overrides)
         return SAGeConfig(**kwargs)
 
     @classmethod
-    def from_archive(cls, archive) -> "EngineOptions":
+    def from_archive(cls, archive: Any) -> "EngineOptions":
         """The options an existing archive reflects (``inspect`` echo).
 
         Session-only knobs (workers/backend/prefetch) keep their
@@ -234,7 +236,7 @@ class EngineOptions:
                    long_reads=archive.long_reads,
                    with_quality=archive.block(0).quality is not None)
 
-    def to_dict(self) -> dict:
+    def to_dict(self) -> dict[str, Any]:
         """JSON-friendly rendering (``sage inspect --json`` echo)."""
         return {
             "workers": self.workers,

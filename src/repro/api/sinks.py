@@ -10,7 +10,7 @@ returns a fresh sink bound to it (e.g. to the archive's own consensus).
 
 from __future__ import annotations
 
-from typing import TYPE_CHECKING, Callable
+from typing import TYPE_CHECKING, Any, Callable
 
 from ..pipeline.executor import (CollectSink, MappingRateSink,
                                  PropertySink, Sink)
@@ -80,18 +80,18 @@ class CallableSink:
     #: ``EngineOptions.streams``) to opt into selective decode.
     requires = None
 
-    def __init__(self, fn: Callable):
+    def __init__(self, fn: Callable[[Any], Any]) -> None:
         self._fn = fn
-        self._results: list = []
+        self._results: list[Any] = []
 
-    def consume(self, index: int, block) -> None:
+    def consume(self, index: int, block: Any) -> None:
         self._results.append(self._fn(block))
 
-    def finish(self) -> list:
+    def finish(self) -> list[Any]:
         return self._results
 
 
-def resolve_sink(dataset: "SAGeDataset", spec) -> Sink:
+def resolve_sink(dataset: "SAGeDataset", spec: Any) -> Sink:
     """Turn a sink spec (name, sink object, or callable) into a sink."""
     if isinstance(spec, str):
         return make_sink(spec, dataset)

@@ -64,12 +64,24 @@ from .genomics import sequence as seqmod
 from .genomics.reads import ReadSet
 
 
+#: Exit codes: 0 success, 1 damaged/failed input (``SAGeError``),
+#: 2 usage error (argparse convention).
+EXIT_DAMAGE = 1
+EXIT_USAGE = 2
+
+
+def _usage_exit(message: str) -> SystemExit:
+    """Exit with the argparse usage code (2), message on stderr."""
+    print(f"sage: {message}", file=sys.stderr)
+    return SystemExit(EXIT_USAGE)
+
+
 def _engine_options(**kwargs) -> EngineOptions:
     """Build the session options, turning validation errors into exits."""
     try:
         return EngineOptions(**kwargs)
     except ValueError as exc:
-        raise SystemExit(f"sage: {exc}") from None
+        raise _usage_exit(str(exc)) from None
 
 
 def _cmd_compress(args: argparse.Namespace) -> int:
@@ -109,7 +121,7 @@ def _cmd_cat(args: argparse.Namespace) -> int:
     with SAGeDataset.open(args.input, options=options) as dataset:
         if args.block is not None:
             if not 0 <= args.block < dataset.n_blocks:
-                raise SystemExit(
+                raise _usage_exit(
                     f"block {args.block} out of range "
                     f"(archive has {dataset.n_blocks} blocks)")
             sets = [dataset.decode_block(args.block)]
@@ -182,11 +194,11 @@ def _cmd_analyze(args: argparse.Namespace) -> int:
     sink_names = list(args.sink or [])
     if args.mapping_rate:
         if sink_names:
-            raise SystemExit("--mapping-rate and --sink are mutually "
-                             "exclusive (use --sink mapping-rate)")
+            raise _usage_exit("--mapping-rate and --sink are mutually "
+                              "exclusive (use --sink mapping-rate)")
         sink_names = ["mapping-rate"]
     if len(set(sink_names)) != len(sink_names):
-        raise SystemExit("sage: duplicate --sink names")
+        raise _usage_exit("duplicate --sink names")
     # Without --sink the historical single-report layout is kept.
     legacy_layout = not args.sink
     if not sink_names:
@@ -197,7 +209,7 @@ def _cmd_analyze(args: argparse.Namespace) -> int:
             # a sink's consume/finish keep their traceback.
             pipeline = dataset.pipe(*sink_names)
         except (TypeError, ValueError) as exc:
-            raise SystemExit(f"sage: {exc}") from None
+            raise _usage_exit(str(exc)) from None
         results = pipeline.run()
         stats = dataset.stats
     infos = {name: _result_info(result)
@@ -480,8 +492,8 @@ def _bench_load(args: argparse.Namespace):
             consensus = np.array(dataset.consensus)
         return reads, consensus, "archive"
     if not args.consensus:
-        raise SystemExit(
-            "sage: bench on a FASTQ input needs --consensus REF.txt")
+        raise _usage_exit(
+            "bench on a FASTQ input needs --consensus REF.txt")
     reads = fastq.read_file(args.input)
     text = Path(args.consensus).read_text(encoding="ascii") \
         .strip().replace("\n", "")
@@ -496,13 +508,13 @@ def _cmd_bench(args: argparse.Namespace) -> int:
     try:
         codecs = [resolve_codec(c) for c in codecs]
     except ValueError as exc:
-        raise SystemExit(f"sage: {exc}") from None
+        raise _usage_exit(str(exc)) from None
     selective = None
     if args.streams:
         try:
             selective = StreamSelection.of(*args.streams).names
         except ValueError as exc:
-            raise SystemExit(f"sage: {exc}") from None
+            raise _usage_exit(str(exc)) from None
     reads, consensus, source = _bench_load(args)
     fastq_mb = reads.uncompressed_fastq_bytes() / 1e6
     rows = {}
@@ -621,7 +633,7 @@ def _bench_mappers(args: argparse.Namespace, reads, consensus,
     try:
         mappers = [mapper_batch.resolve_mapper(m) for m in mappers]
     except ValueError as exc:
-        raise SystemExit(f"sage: {exc}") from None
+        raise _usage_exit(str(exc)) from None
     rows: dict[str, dict] = {}
     blobs: dict[str, bytes] = {}
     for mapper in mappers:
@@ -667,6 +679,21 @@ def _cmd_simulate(args: argparse.Namespace) -> int:
           f"({sim.read_set.total_bases} bases) -> {args.output}; "
           f"reference -> {ref_path}")
     return 0
+
+
+def _cmd_lint(args: argparse.Namespace) -> int:
+    """Run the SGL contract checker (exit 0 clean, 1 findings, 2 usage)."""
+    from .lint.cli import main as lint_main
+    argv: list[str] = list(args.paths)
+    if args.json:
+        argv.append("--json")
+    if args.select:
+        argv += ["--select", args.select]
+    if args.ignore:
+        argv += ["--ignore", args.ignore]
+    if args.list_rules:
+        argv.append("--list-rules")
+    return lint_main(argv)
 
 
 def _add_codec_flag(parser: argparse.ArgumentParser) -> None:
@@ -831,6 +858,21 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--seed", type=int, default=0)
     p.add_argument("--ref", default=None)
     p.set_defaults(func=_cmd_simulate)
+
+    p = sub.add_parser(
+        "lint", help="check the codebase's architectural contracts")
+    p.add_argument("paths", nargs="*",
+                   help="files or directories (default: src tests "
+                        "benchmarks)")
+    p.add_argument("--json", action="store_true",
+                   help="emit findings as JSON")
+    p.add_argument("--select", default=None,
+                   help="comma-separated SGL codes to run")
+    p.add_argument("--ignore", default=None,
+                   help="comma-separated SGL codes to skip")
+    p.add_argument("--list-rules", action="store_true",
+                   help="list registered rules and exit")
+    p.set_defaults(func=_cmd_lint)
     return parser
 
 
@@ -841,12 +883,18 @@ def main(argv: list[str] | None = None) -> int:
     except BrokenPipeError:
         # Output piped into a pager/head that closed early: not an error.
         return 0
+    except FileNotFoundError as exc:
+        # A missing input path is a usage problem, not archive damage.
+        print(f"sage: {exc.filename or exc}: no such file",
+              file=sys.stderr)
+        return EXIT_USAGE
     except SAGeError as exc:
         # A malformed/corrupt archive is an input problem, not a crash:
         # report the typed error (block/stream/offset context included)
-        # without a traceback.
+        # without a traceback.  Damage exits 1; usage errors exit 2
+        # (via argparse or _usage_exit).
         print(f"sage: {type(exc).__name__}: {exc}", file=sys.stderr)
-        return 1
+        return EXIT_DAMAGE
 
 
 if __name__ == "__main__":

@@ -135,6 +135,7 @@ def block_from_archive(archive: SAGeArchive) -> SAGeBlock:
     return archive._as_block()
 
 
+# sage-lint: disable-next=SGL003 - pre-facade compression knobs, kept for deprecated shims
 def _resolve_compress_options(options, *, block_reads: int | None,
                               workers: int | None, caller: str):
     """Fold legacy ``block_reads=``/``workers=`` kwargs into options.
@@ -239,6 +240,7 @@ class BlockCompressor:
         (with a once-per-process :class:`DeprecationWarning`).
     """
 
+    # sage-lint: disable-next=SGL003 - pre-facade compression knobs, kept for deprecated shims
     def __init__(self, consensus: np.ndarray,
                  config: SAGeConfig | None = None, *,
                  options=None, block_reads: int | None = None,
@@ -376,6 +378,7 @@ def _merge_breakdowns(blocks: list[SAGeBlock]) -> SizeBreakdown:
     return merged
 
 
+# sage-lint: disable-next=SGL003 - pre-facade compression knobs, kept for deprecated shims
 def compress_blocked(reads: ReadSet | Iterable[ReadSet],
                      consensus: np.ndarray,
                      config: SAGeConfig | None = None, *,

@@ -40,6 +40,8 @@ the same family.
 
 from __future__ import annotations
 
+from typing import Any
+
 __all__ = ["BlockDecodeError", "ContainerError", "CorruptArchiveError",
            "DecompressionError", "SAGeError", "TruncatedArchiveError"]
 
@@ -56,7 +58,8 @@ class DecompressionError(SAGeError):
     """Raised on malformed or inconsistent archive content at decode."""
 
 
-def _rebuild(cls, message, context):
+def _rebuild(cls: type["SAGeError"], message: str,
+             context: dict[str, Any]) -> "SAGeError":
     """Unpickle helper: rebuild a context error from (message, kwargs).
 
     Keyword-only constructors do not survive the default exception
@@ -69,7 +72,8 @@ def _rebuild(cls, message, context):
 class _ContextMixin:
     """Shared ``block_index``/``stream``/``offset`` context plumbing."""
 
-    _context_keys = ("block_index", "stream", "offset")
+    _context_keys: tuple[str, ...] = ("block_index", "stream",
+                                      "offset")
 
     def _init_context(self, message: str, block_index: int | None,
                       stream: str | None, offset: int | None) -> str:
@@ -87,12 +91,12 @@ class _ContextMixin:
         return f"{message} ({', '.join(parts)})" if parts else message
 
     @property
-    def context(self) -> dict:
+    def context(self) -> dict[str, Any]:
         """The location fields that are known, as a dict."""
         return {key: getattr(self, key) for key in self._context_keys
                 if getattr(self, key) is not None}
 
-    def __reduce__(self):
+    def __reduce__(self) -> tuple[Any, ...]:
         return (_rebuild, (type(self), self.message,
                            {key: getattr(self, key)
                             for key in self._context_keys}))
@@ -102,7 +106,8 @@ class CorruptArchiveError(_ContextMixin, ContainerError):
     """Provably damaged archive content (e.g. a checksum mismatch)."""
 
     def __init__(self, message: str, *, block_index: int | None = None,
-                 stream: str | None = None, offset: int | None = None):
+                 stream: str | None = None,
+                 offset: int | None = None) -> None:
         super().__init__(self._init_context(message, block_index,
                                             stream, offset))
 
@@ -115,7 +120,8 @@ class TruncatedArchiveError(CorruptArchiveError):
 
     def __init__(self, message: str, *, block_index: int | None = None,
                  stream: str | None = None, offset: int | None = None,
-                 expected: int | None = None, actual: int | None = None):
+                 expected: int | None = None,
+                 actual: int | None = None) -> None:
         self.expected = expected
         self.actual = actual
         text = self._init_context(message, block_index, stream, offset)
@@ -132,6 +138,7 @@ class BlockDecodeError(_ContextMixin, DecompressionError):
     """
 
     def __init__(self, message: str, *, block_index: int | None = None,
-                 stream: str | None = None, offset: int | None = None):
+                 stream: str | None = None,
+                 offset: int | None = None) -> None:
         super().__init__(self._init_context(message, block_index,
                                             stream, offset))

@@ -12,6 +12,7 @@ separately from the mismatch-information categories.
 from __future__ import annotations
 
 from ..baselines import deflate
+from .errors import CorruptArchiveError
 
 
 def compress_headers(headers: list[str]) -> bytes:
@@ -36,15 +37,24 @@ def decompress_headers(payload: bytes) -> list[str]:
     """Invert :func:`compress_headers`."""
     # Block count and original size live inside the payload stream, so
     # the blob wrapper fields are not needed for decoding.
-    text = deflate.decompress(
-        deflate.DeflateBlob(payload, 0, 0)).decode("utf-8")
-    lines = text.split("\n")
-    count = int(lines[0])
+    try:
+        text = deflate.decompress(
+            deflate.DeflateBlob(payload, 0, 0)).decode("utf-8")
+        lines = text.split("\n")
+        count = int(lines[0])
+    except (ValueError, UnicodeDecodeError) as exc:
+        raise CorruptArchiveError(
+            f"malformed header stream: {exc}", stream="headers") from exc
     headers: list[str] = []
     prev = ""
     for line in lines[1:count + 1]:
         shared_text, _, suffix = line.partition("|")
-        shared = int(shared_text)
+        try:
+            shared = int(shared_text)
+        except ValueError as exc:
+            raise CorruptArchiveError(
+                f"malformed front-coded header entry {line!r}",
+                stream="headers") from exc
         header = prev[:shared] + suffix
         headers.append(header)
         prev = header

@@ -37,14 +37,21 @@ class AssociationTable:
     widths: tuple[int, ...]
 
     def __post_init__(self) -> None:
+        # The table is decoded straight from the archive header, so a
+        # bad one means corrupt wire data, not a caller mistake.
         if not 1 <= len(self.widths) <= MAX_CLASSES:
-            raise ValueError(
-                f"need 1..{MAX_CLASSES} classes, got {len(self.widths)}")
+            raise CorruptArchiveError(
+                f"need 1..{MAX_CLASSES} classes, got {len(self.widths)}",
+                stream="association-table")
         for width in self.widths:
             if not 0 <= width <= MAX_WIDTH:
-                raise ValueError(f"width {width} out of range")
+                raise CorruptArchiveError(
+                    f"width {width} out of range",
+                    stream="association-table")
         if len(set(self.widths)) != len(self.widths):
-            raise ValueError("class widths must be distinct")
+            raise CorruptArchiveError(
+                "class widths must be distinct",
+                stream="association-table")
 
     @classmethod
     def from_histogram(cls, widths: list[int],

@@ -30,6 +30,10 @@ should request that.
 from __future__ import annotations
 
 from dataclasses import dataclass
+from typing import TYPE_CHECKING, Any
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from collections.abc import Iterable
 
 __all__ = ["STREAM_GROUPS", "StreamSelection", "decoded_stream_bits"]
 
@@ -84,7 +88,8 @@ class StreamSelection:
         return cls(**{group: group in names for group in STREAM_GROUPS})
 
     @classmethod
-    def from_spec(cls, spec) -> "StreamSelection":
+    def from_spec(cls, spec: "StreamSelection | str | "
+                  "Iterable[str] | None") -> "StreamSelection":
         """Normalize a selection spec: ``None`` (= all), a
         :class:`StreamSelection`, or an iterable of group names."""
         if spec is None:
@@ -114,7 +119,8 @@ class StreamSelection:
                for g in STREAM_GROUPS})
 
 
-def decoded_stream_bits(block, selection: StreamSelection | None = None
+def decoded_stream_bits(block: Any,
+                        selection: StreamSelection | None = None
                         ) -> dict[str, int]:
     """Bits a selection actually decodes from one block, per group.
 

@@ -1,0 +1,53 @@
+"""``sage lint`` — AST-based checker for SAGe's architectural contracts.
+
+The engine (:mod:`repro.lint.engine`) walks each file's AST once,
+dispatching nodes to every registered rule; the rules
+(:mod:`repro.lint.rules`) encode the contracts earlier PRs established
+by convention — the error taxonomy, kernel determinism, options
+threading, the sink protocol, pool pickle-safety, and mmap lifetimes.
+
+Run it as ``sage lint [paths...]`` or ``python -m repro.lint``; silence
+an individual sanctioned finding with an inline
+``# sage-lint: disable=SGLnnn - reason`` comment.
+"""
+
+from __future__ import annotations
+
+from .engine import (
+    BROAD_GUARDS,
+    PARSE_ERROR_CODE,
+    FileContext,
+    LintFinding,
+    LintReport,
+    LintUsageError,
+    Rule,
+    available_rules,
+    iter_python_files,
+    lint_paths,
+    lint_source,
+    register_rule,
+    render_report,
+)
+
+__all__ = [
+    "BROAD_GUARDS",
+    "PARSE_ERROR_CODE",
+    "FileContext",
+    "LintFinding",
+    "LintReport",
+    "LintUsageError",
+    "Rule",
+    "available_rules",
+    "iter_python_files",
+    "lint_paths",
+    "lint_source",
+    "main",
+    "register_rule",
+    "render_report",
+]
+
+
+def main(argv: list[str] | None = None) -> int:
+    from .cli import main as _main
+
+    return _main(argv)

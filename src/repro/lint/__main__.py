@@ -1,0 +1,9 @@
+"""Allow ``python -m repro.lint``."""
+
+from __future__ import annotations
+
+import sys
+
+from .cli import main
+
+sys.exit(main())

@@ -1,0 +1,69 @@
+"""Command-line entry point for ``sage lint`` / ``python -m repro.lint``.
+
+Exit codes follow the ``sage`` convention: 0 clean, 1 findings,
+2 usage error (unknown rule code, missing path).
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+from .engine import (
+    LintUsageError,
+    available_rules,
+    lint_paths,
+    render_report,
+)
+
+DEFAULT_PATHS = ("src", "tests", "benchmarks")
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="sage lint",
+        description="Check SAGe's architectural contracts (SGL rules).")
+    parser.add_argument(
+        "paths", nargs="*", default=list(DEFAULT_PATHS),
+        help="files or directories to lint "
+             f"(default: {' '.join(DEFAULT_PATHS)})")
+    parser.add_argument(
+        "--json", action="store_true", dest="as_json",
+        help="emit findings as JSON")
+    parser.add_argument(
+        "--select", metavar="CODES",
+        help="comma-separated rule codes to run (e.g. SGL001,SGL004)")
+    parser.add_argument(
+        "--ignore", metavar="CODES",
+        help="comma-separated rule codes to skip")
+    parser.add_argument(
+        "--list-rules", action="store_true",
+        help="list registered rules and exit")
+    return parser
+
+
+def _list_rules() -> None:
+    for code, rule_cls in available_rules().items():
+        print(f"{code}  {rule_cls.name:<22} {rule_cls.contract} "
+              f"[{rule_cls.origin}]")
+
+
+def main(argv: list[str] | None = None) -> int:
+    args = build_parser().parse_args(argv)
+    if args.list_rules:
+        _list_rules()
+        return 0
+    try:
+        report = lint_paths(args.paths, select=args.select,
+                            ignore=args.ignore)
+    except LintUsageError as exc:
+        print(f"sage lint: {exc}", file=sys.stderr)
+        return 2
+    output = render_report(report, as_json=args.as_json)
+    if output:
+        print(output)
+    return 0 if report.ok else 1
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

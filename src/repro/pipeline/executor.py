@@ -307,6 +307,7 @@ class StreamExecutor:
         consensus) on the serial and thread paths.
     """
 
+    # sage-lint: disable-next=SGL003 - warn-once deprecated shim routed via resolve_stream_options
     def __init__(self, archive: SAGeArchive, *, options=None,
                  workers: int | None = None, backend: str | None = None,
                  prefetch: int | None = None,
@@ -606,6 +607,7 @@ class StreamExecutor:
             yield self._account(item)
 
 
+# sage-lint: disable-next=SGL003 - warn-once deprecated shim routed via resolve_stream_options
 def stream_read_sets(archive: SAGeArchive, *, options=None,
                      workers: int | None = None,
                      backend: str | None = None,

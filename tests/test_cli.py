@@ -114,9 +114,10 @@ class TestDecompressWorkers:
         assert read_multiset(decoded) == read_multiset(rs3_small.read_set)
 
     def test_invalid_workers(self, blocked, workdir):
-        with pytest.raises(SystemExit):
+        with pytest.raises(SystemExit) as excinfo:
             main(["decompress", str(blocked),
                   str(workdir / "x.fastq"), "--workers", "0"])
+        assert excinfo.value.code == 2  # usage error
 
 
 class TestAnalyze:
@@ -187,8 +188,9 @@ class TestCat:
         assert read_multiset(parsed) == read_multiset(rs3_small.read_set)
 
     def test_cat_block_out_of_range(self, blocked, capsys):
-        with pytest.raises(SystemExit):
+        with pytest.raises(SystemExit) as excinfo:
             main(["cat", str(blocked), "--block", "999"])
+        assert excinfo.value.code == 2  # usage error
 
     def test_cat_to_file(self, blocked, workdir):
         out = workdir / "cat.fastq"
@@ -290,13 +292,15 @@ class TestAnalyzeSinks:
         assert "peak in-flight blocks" in out
 
     def test_unknown_sink_exits(self, blocked):
-        with pytest.raises(SystemExit):
+        with pytest.raises(SystemExit) as excinfo:
             main(["analyze", str(blocked), "--sink", "nope"])
+        assert excinfo.value.code == 2  # usage error
 
     def test_sink_and_mapping_rate_conflict(self, blocked):
-        with pytest.raises(SystemExit):
+        with pytest.raises(SystemExit) as excinfo:
             main(["analyze", str(blocked), "--sink", "property",
                   "--mapping-rate"])
+        assert excinfo.value.code == 2  # usage error
 
 
 class TestInspectFormatVersion:
@@ -377,10 +381,11 @@ class TestBenchEncode:
         assert out_py.read_bytes() == out_np.read_bytes()
 
     def test_unknown_mapper_exits(self, workdir):
-        with pytest.raises(SystemExit):
+        with pytest.raises(SystemExit) as excinfo:
             main(["compress", str(workdir / "reads.fastq"),
                   str(workdir / "ref.txt"), str(workdir / "x.sage"),
                   "--mapper", "simd"])
+        assert excinfo.value.code == 2  # usage error
 
 
 class TestVerifySalvage:

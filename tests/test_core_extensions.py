@@ -76,6 +76,22 @@ class TestHeaderStream:
         with pytest.raises(ValueError):
             compress_headers(["bad|header"])
 
+    def test_corrupt_payload_raises_taxonomy_error(self):
+        # Malformed header text must surface as CorruptArchiveError
+        # (stream context included), not a bare int()/decode error.
+        from repro.baselines import deflate
+        from repro.core.errors import CorruptArchiveError
+        for text in ("not-a-count\nrest", "2\nnope|x\n0|y"):
+            blob = deflate.compress(text.encode("utf-8"))
+            with pytest.raises(CorruptArchiveError) as excinfo:
+                decompress_headers(blob.payload)
+            assert excinfo.value.context.get("stream") == "headers"
+
+    def test_undecodable_payload_raises_taxonomy_error(self):
+        from repro.core.errors import CorruptArchiveError
+        with pytest.raises(CorruptArchiveError):
+            decompress_headers(b"\xff\xfe garbage")
+
 
 class TestTunedIndelLengths:
     def test_lossless_on_long_reads(self, rs4_small):

@@ -1,8 +1,12 @@
 """Tests for the SAGe hardware model, area/power, energy, interconnect."""
 
+import warnings
+
 import numpy as np
 import pytest
 
+from repro._compat import reset_deprecation_warnings
+from repro.api import EngineOptions
 from repro.core import SAGeCompressor, SAGeConfig, SAGeDecompressor
 from repro.core.formats import OutputFormat
 from repro.hardware import area_power, dram, energy, interconnect
@@ -82,7 +86,15 @@ class TestHardwareVerify:
     def test_verify_against_parallel_decoder(self, blocked):
         """Functional model output == parallel streaming decode."""
         hw = SAGeHardwareModel(pcie_ssd())
-        assert hw.verify(blocked, workers=2)
+        assert hw.verify(blocked, options=EngineOptions(workers=2))
+
+    def test_verify_workers_shortcut_deprecated(self, blocked):
+        hw = SAGeHardwareModel(pcie_ssd())
+        reset_deprecation_warnings()
+        with warnings.catch_warnings():
+            warnings.simplefilter("error")
+            with pytest.raises(DeprecationWarning):
+                hw.verify(blocked, workers=2)
 
     def test_verify_detects_divergence(self, blocked, rs2_small):
         other = SAGeCompressor(rs2_small.reference,
@@ -95,7 +107,8 @@ class TestHardwareVerify:
                 return SAGeHardwareModel.run(hw, other)
 
         with pytest.raises(ValueError):
-            Lying(pcie_ssd()).verify(blocked, workers=2)
+            Lying(pcie_ssd()).verify(blocked,
+                                     options=EngineOptions(workers=2))
 
 
 class TestAreaPower:
