@@ -19,18 +19,21 @@ from .._compat import reset_deprecation_warnings
 from ..core.errors import (BlockDecodeError, CorruptArchiveError,
                            SAGeError, TruncatedArchiveError)
 from ..core.selection import STREAM_GROUPS, StreamSelection
+from .cache import (CacheStats, DecodedBlockCache, SingleFlight,
+                    decoded_nbytes)
 from .dataset import (Pipeline, SAGeDataset, SalvageReport, SourceTotals,
                       VerifyReport, atomic_write_bytes)
 from .options import ON_ERROR, EngineOptions, resolve_stream_options
 from .sinks import (CallableSink, available_sinks, make_sink,
-                    register_sink, unregister_sink)
+                    register_sink, result_info, unregister_sink)
 
 __all__ = [
-    "BlockDecodeError", "CallableSink", "CorruptArchiveError",
-    "EngineOptions", "ON_ERROR", "Pipeline", "STREAM_GROUPS",
-    "SAGeDataset", "SAGeError", "SalvageReport", "SourceTotals",
-    "StreamSelection", "TruncatedArchiveError", "VerifyReport",
-    "atomic_write_bytes", "available_sinks", "make_sink",
-    "register_sink", "reset_deprecation_warnings",
+    "BlockDecodeError", "CacheStats", "CallableSink",
+    "CorruptArchiveError", "DecodedBlockCache", "EngineOptions",
+    "ON_ERROR", "Pipeline", "STREAM_GROUPS", "SAGeDataset", "SAGeError",
+    "SalvageReport", "SingleFlight", "SourceTotals", "StreamSelection",
+    "TruncatedArchiveError", "VerifyReport", "atomic_write_bytes",
+    "available_sinks", "decoded_nbytes", "make_sink", "register_sink",
+    "reset_deprecation_warnings", "result_info",
     "resolve_stream_options", "unregister_sink",
 ]

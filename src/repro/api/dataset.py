@@ -306,7 +306,19 @@ class SAGeDataset:
         """End the session: release cached decoders, executors, and —
         for archives opened from a file — the memory mapping.  Blocks
         already parsed stay usable (they hold their own bytes); blocks
-        never touched are no longer reachable after close."""
+        never touched are no longer reachable after close.
+
+        Contract: idempotent and safe to call from any thread, even
+        while other threads are decoding.  An in-flight
+        ``decode_block`` either completes normally (it sliced its
+        payload before the close) or fails with a typed
+        :class:`~repro.core.errors.ContainerError` naming the closed
+        archive — it never crashes the process or corrupts output.  New
+        calls after close fail fast via :meth:`_require_open` with
+        ``ValueError("dataset session is closed")``.  This is what
+        allows a server to close a dataset during shutdown without
+        fencing its worker threads first.
+        """
         self._closed = True
         self._decompressor = None
         self._last_executor = None

@@ -19,7 +19,8 @@ if TYPE_CHECKING:  # pragma: no cover - typing only
     from .dataset import SAGeDataset
 
 __all__ = ["CallableSink", "SinkFactory", "available_sinks", "make_sink",
-           "register_sink", "resolve_sink", "unregister_sink"]
+           "register_sink", "resolve_sink", "result_info",
+           "unregister_sink"]
 
 SinkFactory = Callable[["SAGeDataset"], Sink]
 
@@ -89,6 +90,52 @@ class CallableSink:
 
     def finish(self) -> list[Any]:
         return self._results
+
+
+def _property_info(report: Any) -> dict:
+    """JSON rendering of a ``property`` sink result."""
+    mismatch_hist = report.mismatch_count_hist()
+    return {
+        "n_reads": report.n_reads,
+        "n_mapped": report.n_reads - report.n_unmapped,
+        "n_unmapped": report.n_unmapped,
+        "n_chimeric": report.n_chimeric,
+        "mapping_rate": (report.n_reads - report.n_unmapped)
+        / max(1, report.n_reads),
+        "mismatch_pos_bitcount_hist":
+            report.mismatch_pos_bitcount_hist().tolist(),
+        "mismatch_count_hist": mismatch_hist.tolist(),
+        "matching_pos_bitcount_fractions":
+            [round(float(f), 6) for f in
+             report.matching_pos_bitcount_fractions()],
+    }
+
+
+def _mapping_info(rate: Any) -> dict:
+    """JSON rendering of a ``mapping-rate`` sink result."""
+    return {"n_reads": rate.n_reads, "n_mapped": rate.n_mapped,
+            "n_unmapped": rate.n_unmapped,
+            "mapping_rate": rate.mapping_rate}
+
+
+def result_info(result: Any) -> dict:
+    """JSON-serializable rendering of any registered sink's result.
+
+    The shared presentation layer for ``sage analyze --json`` and the
+    serve endpoint ``POST /analyze``: built-in report objects get
+    structured summaries, a collected :class:`ReadSet` gets counts, and
+    anything else falls back to ``str``.
+    """
+    from ..genomics.reads import ReadSet
+
+    if hasattr(result, "mismatch_count_hist"):      # PropertyReport
+        return _property_info(result)
+    if hasattr(result, "mapping_rate"):             # MappingRateReport
+        return _mapping_info(result)
+    if isinstance(result, ReadSet):                 # collect
+        return {"n_reads": len(result),
+                "total_bases": result.total_bases}
+    return {"result": str(result)}
 
 
 def resolve_sink(dataset: "SAGeDataset", spec: Any) -> Sink:

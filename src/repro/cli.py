@@ -17,6 +17,9 @@ Subcommands::
                     [--codec NAME ...] [--encode] [--mapper NAME ...]
                     [--repeat R] [--json]
     sage simulate   RS2 output.fastq [--genome 50000] [--ref ref.txt]
+    sage serve      input.sage [more.sage ...] [--host H] [--port P]
+                    [--cache-mb MB] [--decode-threads N] [--workers N]
+                    [--codec NAME] [--smoke]
 
 The consensus file is plain ACGT text (a reference genome); ``simulate``
 writes one alongside the FASTQ so the two commands compose.
@@ -54,14 +57,13 @@ import sys
 from pathlib import Path
 
 from .api import (EngineOptions, SAGeDataset, StreamSelection,
-                  available_sinks)
+                  available_sinks, result_info)
 from .core import OptLevel, SAGeArchive, SAGeError
 from .core.container import STREAM_NAMES
 from .core.kernels import available_kernels, resolve_codec
 from .mapping import batch as mapper_batch
 from .genomics import datasets, fastq
 from .genomics import sequence as seqmod
-from .genomics.reads import ReadSet
 
 
 #: Exit codes: 0 success, 1 damaged/failed input (``SAGeError``),
@@ -139,44 +141,6 @@ def _cmd_cat(args: argparse.Namespace) -> int:
     return 0
 
 
-def _property_info(report) -> dict:
-    """JSON rendering of a ``property`` sink result."""
-    mismatch_hist = report.mismatch_count_hist()
-    return {
-        "n_reads": report.n_reads,
-        "n_mapped": report.n_reads - report.n_unmapped,
-        "n_unmapped": report.n_unmapped,
-        "n_chimeric": report.n_chimeric,
-        "mapping_rate": (report.n_reads - report.n_unmapped)
-        / max(1, report.n_reads),
-        "mismatch_pos_bitcount_hist":
-            report.mismatch_pos_bitcount_hist().tolist(),
-        "mismatch_count_hist": mismatch_hist.tolist(),
-        "matching_pos_bitcount_fractions":
-            [round(float(f), 6) for f in
-             report.matching_pos_bitcount_fractions()],
-    }
-
-
-def _mapping_info(rate) -> dict:
-    """JSON rendering of a ``mapping-rate`` sink result."""
-    return {"n_reads": rate.n_reads, "n_mapped": rate.n_mapped,
-            "n_unmapped": rate.n_unmapped,
-            "mapping_rate": rate.mapping_rate}
-
-
-def _result_info(result) -> dict:
-    """JSON rendering for any registered sink's result."""
-    if hasattr(result, "mismatch_count_hist"):      # PropertyReport
-        return _property_info(result)
-    if hasattr(result, "mapping_rate"):             # MappingRateReport
-        return _mapping_info(result)
-    if isinstance(result, ReadSet):                 # collect
-        return {"n_reads": len(result),
-                "total_bases": result.total_bases}
-    return {"result": str(result)}
-
-
 def _print_property_text(info: dict) -> None:
     print(f"chimeric reads: {info['n_chimeric']}")
     hist = info["mismatch_count_hist"]
@@ -212,7 +176,7 @@ def _cmd_analyze(args: argparse.Namespace) -> int:
             raise _usage_exit(str(exc)) from None
         results = pipeline.run()
         stats = dataset.stats
-    infos = {name: _result_info(result)
+    infos = {name: result_info(result)
              for name, result in zip(sink_names, results)}
     stream_info = {"blocks": stats.blocks,
                    "peak_inflight_blocks": stats.peak_inflight,
@@ -270,6 +234,9 @@ def _block_info(archive: SAGeArchive, index: int, entry) -> dict:
         "bytes": entry.nbytes,
         "offset": entry.offset,
         "crc32": entry.crc32,
+        # Static decoded-size estimate: what a server budgets its
+        # decoded-block LRU cache with, without decoding anything.
+        "decoded_nbytes_estimate": blk.decoded_nbytes_estimate(),
         "sections": {
             "meta_bytes": blk.meta_nbytes(),
             "stream_bytes": sum(len(payload)
@@ -713,6 +680,43 @@ def _add_mapper_flag(parser: argparse.ArgumentParser) -> None:
              "archives are byte-identical across mappers")
 
 
+def _cmd_serve(args: argparse.Namespace) -> int:
+    """Serve archives over HTTP with a decoded-block cache."""
+    import time
+
+    from .serve import ArchiveServer
+
+    options = _engine_options(workers=args.workers, codec=args.codec)
+    try:
+        server = ArchiveServer(args.archives, options=options,
+                               cache_bytes=args.cache_mb << 20,
+                               decode_threads=args.decode_threads,
+                               host=args.host, port=args.port)
+    except SAGeError:
+        # A damaged archive is an input problem (exit 1 via main), not
+        # a usage error — and SAGeError subclasses ValueError, so this
+        # re-raise must come first.
+        raise
+    except ValueError as exc:
+        raise _usage_exit(str(exc)) from None
+    try:
+        port = server.start()
+        print(f"serving {', '.join(server.archive_names)} on "
+              f"http://{args.host}:{port}", flush=True)
+        if args.smoke:
+            # Smoke mode: prove startup + clean shutdown and exit.
+            return 0
+        try:
+            while True:
+                time.sleep(3600)
+        except KeyboardInterrupt:
+            pass
+    finally:
+        server.close()
+        print(server.stats.render(server.cache.stats), file=sys.stderr)
+    return 0
+
+
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="sage", description="SAGe genomic (de)compression")
@@ -858,6 +862,30 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--seed", type=int, default=0)
     p.add_argument("--ref", default=None)
     p.set_defaults(func=_cmd_simulate)
+
+    p = sub.add_parser("serve",
+                       help="serve archives over HTTP (random-access "
+                            "blocks, read ranges, sink analysis)")
+    p.add_argument("archives", nargs="+",
+                   help="archive path(s); name with NAME=path, default "
+                        "name is the file stem")
+    p.add_argument("--host", default="127.0.0.1")
+    p.add_argument("--port", type=int, default=8765,
+                   help="TCP port (0 = pick a free port)")
+    p.add_argument("--cache-mb", type=int, default=64,
+                   help="decoded-block LRU cache budget in MiB (size it "
+                        "from inspect --json decoded_nbytes_estimate)")
+    p.add_argument("--decode-threads", type=int, default=4,
+                   help="bounded pool running block decodes off the "
+                        "event loop")
+    p.add_argument("--workers", type=int, default=1,
+                   help="worker processes for full-pass /analyze "
+                        "requests")
+    p.add_argument("--smoke", action="store_true",
+                   help="start, print the bound port, shut down cleanly "
+                        "and exit (CI smoke mode)")
+    _add_codec_flag(p)
+    p.set_defaults(func=_cmd_serve)
 
     p = sub.add_parser(
         "lint", help="check the codebase's architectural contracts")

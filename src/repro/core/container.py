@@ -139,6 +139,36 @@ class SAGeBlock:
     def n_reads(self) -> int:
         return self.n_mapped + self.n_unmapped
 
+    def decoded_nbytes_estimate(self) -> int:
+        """Approximate resident bytes of this block once decoded.
+
+        Priced from stream metadata alone — no decode happens.  Base
+        count comes from the quality-score count when present (exact:
+        one score per base), from ``n_reads * fixed_read_length`` for
+        fixed-length blocks, else from the sequence stream bit totals at
+        ~2 bits/base.  Headers are deflate-compressed text, budgeted at
+        4x expansion; the per-read constant mirrors
+        ``repro.api.cache.READ_OVERHEAD_BYTES`` so a server can size a
+        :class:`~repro.api.cache.DecodedBlockCache` from ``sage inspect
+        --json`` output without decoding a single block.
+        """
+        if self.quality is not None:
+            bases = self.quality.n_scores
+        elif self.fixed_length:
+            bases = self.n_reads * self.fixed_read_length
+        else:
+            seq_bits = sum(
+                bits for name, (_, bits) in self.streams.items()
+                if name != "order")
+            bases = max(self.n_reads, seq_bits // 2)
+        total = bases                       # one uint8 code per base
+        if self.quality is not None:
+            total += self.quality.n_scores  # one uint8 score per base
+        if self.headers_blob is not None:
+            total += 4 * len(self.headers_blob)
+        total += 64 * self.n_reads
+        return total
+
     # -- serialization -------------------------------------------------
 
     def _write_meta(self, writer: BitWriter) -> None:
@@ -393,17 +423,30 @@ class SAGeArchive:
         built in memory or loaded from bytes.  If a payload view is
         still exported (e.g. an array wrapping it), the mapping is left
         to the garbage collector instead of invalidating the view.
+
+        Contract: ``close`` is idempotent and safe to call from any
+        thread, including while another thread is mid-decode.  The blob
+        and mapping references are detached *before* being released, so
+        a concurrent reader either got its payload slice in time or
+        fails with a typed :class:`ContainerError` ("archive closed") —
+        never a crash or a bare ``TypeError``/``ValueError``.
         """
-        blob = self._source_blob
+        # Detach-then-release: readers snapshot self._source_blob, so
+        # swapping the attribute first is what makes concurrent close
+        # safe — a racing decode holds either the live view (which
+        # release() leaves usable for existing exports) or None.
+        blob, self._source_blob = self._source_blob, None
+        mapped, self._mmap = self._mmap, None
         if isinstance(blob, memoryview):
-            self._source_blob = None
-            blob.release()
-        if self._mmap is not None:
             try:
-                self._mmap.close()
+                blob.release()
+            except BufferError:      # a payload sub-view lives on
+                pass
+        if mapped is not None:
+            try:
+                mapped.close()
             except BufferError:      # an exported payload view lives on
                 pass
-            self._mmap = None
 
     def release_block(self, index: int) -> None:
         """Drop the parsed form of block ``index``.
@@ -485,8 +528,15 @@ class SAGeArchive:
         slice is a zero-copy ``memoryview`` and the CRC runs on the
         view — no ``bytes()`` copy on the intact path.
         """
-        payload = self._source_blob[entry.offset:
-                                    entry.offset + entry.nbytes]
+        blob = self._source_blob
+        if blob is None:
+            raise ContainerError(
+                f"block {index} has no payload (archive closed)")
+        try:
+            payload = blob[entry.offset:entry.offset + entry.nbytes]
+        except ValueError as exc:   # released view: close() raced us
+            raise ContainerError(
+                f"block {index} has no payload (archive closed)") from exc
         if len(payload) != entry.nbytes:
             raise TruncatedArchiveError(
                 "block payload truncated", block_index=index,
@@ -933,10 +983,10 @@ class SAGeArchive:
         # A blob-backed v4 archive had its header and consensus digests
         # verified at load; re-walk only the lazily checked blocks.
         statuses: list[str] = []
-        if self._source_blob is not None and self._index is not None:
-            for entry in self._index:
-                payload = self._source_blob[entry.offset:
-                                            entry.offset + entry.nbytes]
+        blob, index_entries = self._source_blob, self._index
+        if blob is not None and index_entries is not None:
+            for entry in index_entries:
+                payload = blob[entry.offset:entry.offset + entry.nbytes]
                 ok = (len(payload) == entry.nbytes
                       and (entry.crc32 is None
                            or _checksum(payload) == entry.crc32))

@@ -100,6 +100,22 @@ class StreamSelection:
             return cls.of(spec)
         return cls.of(*spec)
 
+    @classmethod
+    def from_query(cls, text: str) -> "StreamSelection":
+        """Parse an HTTP-query-style selection.
+
+        Accepts comma- or plus-separated group names with optional
+        whitespace (``"sequence,quality"``, ``"sequence+order"``); an
+        empty or blank string means the full decode, matching an absent
+        query parameter.  Unknown names raise :class:`ValueError` via
+        :meth:`of`.
+        """
+        names = [part.strip() for part in text.replace("+", ",").split(",")
+                 if part.strip()]
+        if not names:
+            return cls.all_streams()
+        return cls.of(*names)
+
     # -- views ---------------------------------------------------------
 
     @property
@@ -111,6 +127,18 @@ class StreamSelection:
     def is_all(self) -> bool:
         """True when every group is selected (the full decode)."""
         return all(getattr(self, g) for g in STREAM_GROUPS)
+
+    @property
+    def cache_token(self) -> str:
+        """A canonical string for use in cache keys.
+
+        Equal selections share a token, so a decoded-block cache keyed
+        by ``(archive, block, selection.cache_token)`` dedupes requests
+        that spell the same selection differently.
+        """
+        if self.is_all:
+            return "all"
+        return "+".join(self.names) or "none"
 
     def union(self, other: "StreamSelection") -> "StreamSelection":
         """The selection satisfying both requests."""

@@ -15,7 +15,7 @@ single-pass AST walker that dispatches each node to every registered
 output with a nonzero exit on findings.
 
 The rules themselves live in :mod:`repro.lint.rules` (codes ``SGL001``
-… ``SGL006``); the engine knows nothing about any specific contract.
+… ``SGL007``); the engine knows nothing about any specific contract.
 
 Suppression syntax (comment anywhere on the relevant line)::
 

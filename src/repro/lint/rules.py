@@ -36,6 +36,13 @@ SGL006    mmap-lifetime           No ``memoryview`` taken from an archive
                                   payload is stored onto ``self`` outside
                                   ``core/container.py`` — a pinned view
                                   outlives ``SAGeArchive.close()`` (PR 8).
+SGL007    serve-error-mapping     Serve request handlers never let a
+                                  :class:`~repro.core.errors.SAGeError`
+                                  escape unmapped: every ``_handle_*`` /
+                                  ``handle_*`` coroutine in ``repro/serve``
+                                  wears ``@sage_error_boundary`` or catches
+                                  the taxonomy itself, mapping damage to an
+                                  HTTP status + JSON body (PR 10).
 ========  ======================  ============================================
 
 Rules are deliberately *syntactic*: they flag the patterns through which
@@ -51,12 +58,13 @@ from __future__ import annotations
 import ast
 import re
 
-from .engine import BROAD_GUARDS, FileContext, Rule, register_rule
+from .engine import (BROAD_GUARDS, FileContext, Rule, _handler_names,
+                     register_rule)
 
 __all__ = ["KERNEL_MODULES", "OPTION_KNOBS", "SinkContractRule",
            "ErrorTaxonomyRule", "KernelDeterminismRule",
            "MmapLifetimeRule", "OptionsThreadingRule",
-           "PoolPickleSafetyRule"]
+           "PoolPickleSafetyRule", "ServeErrorMappingRule"]
 
 #: The engine knobs :class:`repro.api.EngineOptions` owns (PR 4).
 OPTION_KNOBS = frozenset({"workers", "backend", "prefetch",
@@ -603,3 +611,68 @@ class MmapLifetimeRule(Rule):
     def visit_AugAssign(self, node: ast.AugAssign,
                         ctx: FileContext) -> None:
         self._check_assign(node, [node.target], node.value, ctx)
+
+
+@register_rule
+class ServeErrorMappingRule(Rule):
+    """SGL007: serve handlers map the error taxonomy to HTTP responses.
+
+    A request handler that lets :class:`SAGeError` escape turns archive
+    damage into a dropped connection or an opaque 500 with no block
+    context — exactly the failure mode the typed taxonomy exists to
+    prevent.  Every handler coroutine in ``repro/serve`` (named
+    ``handle_*`` or ``_handle_*``) must either wear the
+    ``@sage_error_boundary`` decorator (which renders
+    ``SAGeError.context`` into the JSON error body) or wrap its whole
+    body in a ``try`` that catches the taxonomy itself.
+    """
+
+    code = "SGL007"
+    name = "serve-error-mapping"
+    contract = ("serve request handlers map SAGeError to HTTP statuses "
+                "via @sage_error_boundary or try/except SAGeError")
+    origin = "PR 10"
+
+    _FAMILY = frozenset({
+        "SAGeError", "ContainerError", "DecompressionError",
+        "CorruptArchiveError", "TruncatedArchiveError",
+        "BlockDecodeError", "BitIOError"})
+    _HANDLER = re.compile(r"^_?handle_")
+
+    def applies(self, ctx: FileContext) -> bool:
+        return ctx.in_paths("repro/serve")
+
+    @staticmethod
+    def _decorated(node: ast.AST) -> bool:
+        for dec in node.decorator_list:
+            target = dec.func if isinstance(dec, ast.Call) else dec
+            name = target.attr if isinstance(target, ast.Attribute) \
+                else getattr(target, "id", "")
+            if name.endswith("error_boundary"):
+                return True
+        return False
+
+    def _body_guarded(self, node: ast.AST) -> bool:
+        body = list(node.body)
+        if body and isinstance(body[0], ast.Expr) and isinstance(
+                body[0].value, ast.Constant) and isinstance(
+                body[0].value.value, str):
+            body = body[1:]          # skip the docstring
+        if len(body) != 1 or not isinstance(body[0], ast.Try):
+            return False
+        return any(_handler_names(handler) & self._FAMILY
+                   for handler in body[0].handlers)
+
+    def _check(self, node: ast.AST, ctx: FileContext) -> None:
+        if not self._HANDLER.match(_func_name(node)):
+            return
+        if self._decorated(node) or self._body_guarded(node):
+            return
+        ctx.report(node, self.code,
+                   f"serve handler {_func_name(node)}() neither wears "
+                   f"@sage_error_boundary nor catches SAGeError; a "
+                   f"damaged archive would escape as an unmapped "
+                   f"exception instead of an HTTP error body")
+
+    visit_FunctionDef = _check
+    visit_AsyncFunctionDef = _check

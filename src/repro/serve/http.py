@@ -1,0 +1,167 @@
+"""Minimal HTTP/1.1 plumbing for the archive server.
+
+Stdlib-only on purpose: request parsing over asyncio streams, a small
+response renderer, and — the piece the SGL007 lint rule exists for —
+:func:`sage_error_boundary`, the decorator that maps the engine's typed
+:class:`~repro.core.errors.SAGeError` taxonomy onto HTTP statuses with
+a JSON body.  A handler that can raise a taxonomy error must either
+wear the decorator or catch the family itself; an escaped ``SAGeError``
+would otherwise surface as an opaque 500 with no block context.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import functools
+import json
+from dataclasses import dataclass, field
+from urllib.parse import parse_qsl, urlsplit
+
+from ..core.errors import SAGeError
+
+__all__ = ["HTTPError", "MAX_BODY_BYTES", "Request", "Response",
+           "error_response", "read_request", "sage_error_boundary"]
+
+#: Request bodies above this are refused with 413 before buffering.
+MAX_BODY_BYTES = 1 << 20
+
+_REASONS = {200: "OK", 400: "Bad Request", 404: "Not Found",
+            405: "Method Not Allowed", 413: "Payload Too Large",
+            500: "Internal Server Error", 503: "Service Unavailable"}
+
+
+class HTTPError(Exception):
+    """A request failure with an HTTP status and JSON-able detail.
+
+    Deliberately *not* a :class:`SAGeError`: raising one is how a
+    handler says "already mapped" — the dispatch loop renders it
+    directly and the error boundary re-raises it untouched.
+    """
+
+    def __init__(self, status: int, message: str, **detail) -> None:
+        super().__init__(message)
+        self.status = status
+        self.message = message
+        self.detail = detail
+
+
+@dataclass
+class Request:
+    """One parsed HTTP request."""
+
+    method: str
+    path: str
+    query: dict[str, str] = field(default_factory=dict)
+    headers: dict[str, str] = field(default_factory=dict)
+    body: bytes = b""
+    keep_alive: bool = True
+
+    def json(self) -> dict:
+        """The body parsed as a JSON object, or :class:`HTTPError` 400."""
+        try:
+            payload = json.loads(self.body.decode("utf-8") or "{}")
+        except (UnicodeDecodeError, json.JSONDecodeError) as exc:
+            raise HTTPError(400, f"invalid JSON body: {exc}") from exc
+        if not isinstance(payload, dict):
+            raise HTTPError(400, "JSON body must be an object")
+        return payload
+
+
+@dataclass
+class Response:
+    """One response, rendered by :meth:`render`."""
+
+    status: int = 200
+    content_type: str = "application/json"
+    body: bytes = b""
+
+    @classmethod
+    def json(cls, payload, status: int = 200) -> "Response":
+        body = json.dumps(payload, sort_keys=True).encode("utf-8")
+        return cls(status=status, body=body)
+
+    @classmethod
+    def text(cls, text: str, status: int = 200,
+             content_type: str = "text/plain; charset=utf-8") -> "Response":
+        return cls(status=status, content_type=content_type,
+                   body=text.encode("utf-8"))
+
+    def render(self, *, keep_alive: bool) -> bytes:
+        reason = _REASONS.get(self.status, "Unknown")
+        head = (f"HTTP/1.1 {self.status} {reason}\r\n"
+                f"Content-Type: {self.content_type}\r\n"
+                f"Content-Length: {len(self.body)}\r\n"
+                f"Connection: {'keep-alive' if keep_alive else 'close'}"
+                f"\r\n\r\n")
+        return head.encode("ascii") + self.body
+
+
+async def read_request(reader: asyncio.StreamReader) -> Request | None:
+    """Parse one request off ``reader``; ``None`` on a closed peer.
+
+    Raises :class:`HTTPError` 400 on a malformed request line and 413
+    when the declared body exceeds :data:`MAX_BODY_BYTES` (checked
+    before buffering a single body byte).
+    """
+    try:
+        line = await reader.readline()
+    except (ConnectionError, asyncio.IncompleteReadError):
+        return None
+    if not line:
+        return None
+    parts = line.decode("ascii", "replace").split()
+    if len(parts) != 3 or not parts[2].startswith("HTTP/"):
+        raise HTTPError(400, f"malformed request line: {line!r}")
+    method, target, version = parts
+    headers: dict[str, str] = {}
+    while True:
+        raw = await reader.readline()
+        if raw in (b"\r\n", b"\n", b""):
+            break
+        name, _, value = raw.decode("ascii", "replace").partition(":")
+        headers[name.strip().lower()] = value.strip()
+    split = urlsplit(target)
+    query = dict(parse_qsl(split.query, keep_blank_values=True))
+    length = int(headers.get("content-length", "0") or "0")
+    if length > MAX_BODY_BYTES:
+        raise HTTPError(413, f"request body of {length} bytes exceeds "
+                             f"the {MAX_BODY_BYTES}-byte limit")
+    body = await reader.readexactly(length) if length else b""
+    keep_alive = headers.get(
+        "connection", "keep-alive" if version == "HTTP/1.1" else "close"
+    ).lower() != "close"
+    return Request(method=method.upper(), path=split.path, query=query,
+                   headers=headers, body=body, keep_alive=keep_alive)
+
+
+def error_response(exc: HTTPError) -> Response:
+    """The JSON error envelope every failure path renders."""
+    payload = {"error": exc.message, "status": exc.status}
+    for key, value in exc.detail.items():
+        if value is not None:
+            payload[key] = value
+    return Response.json(payload, status=exc.status)
+
+
+def sage_error_boundary(fn):
+    """Map escaped :class:`SAGeError` taxonomy errors to HTTP 500s.
+
+    Wraps an async handler.  :class:`HTTPError` passes through (the
+    handler already chose a status); any :class:`SAGeError` becomes a
+    500 whose JSON body carries the error type and the taxonomy's
+    ``.context`` (block index, stream, offset) so a client can localize
+    the damage.  This decorator is the SGL007 contract — every serve
+    handler wears it or catches ``SAGeError`` itself.
+    """
+    @functools.wraps(fn)
+    async def wrapper(*args, **kwargs):
+        try:
+            return await fn(*args, **kwargs)
+        except HTTPError:
+            raise
+        except SAGeError as exc:
+            raise HTTPError(
+                500, f"{type(exc).__name__}: {exc}",
+                error_type=type(exc).__name__,
+                **getattr(exc, "context", {})) from exc
+    return wrapper

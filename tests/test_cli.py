@@ -242,6 +242,24 @@ class TestInspectJson:
             assert block["stream_bits"]["mbta"] >= 0
             assert "consensus" not in block["stream_bits"]
 
+    def test_json_reports_decoded_size_estimates(self, workdir, capsys):
+        """Every block advertises its decoded-bytes estimate — the
+        figure a server uses to budget its block cache."""
+        import json
+        archive = workdir / "reads.sage"
+        main(["compress", str(workdir / "reads.fastq"),
+              str(workdir / "ref.txt"), str(archive),
+              "--block-reads", "16"])
+        capsys.readouterr()
+        assert main(["inspect", str(archive), "--json"]) == 0
+        info = json.loads(capsys.readouterr().out)
+        for block in info["blocks"]:
+            estimate = block["decoded_nbytes_estimate"]
+            # Decoded reads (1 byte/base + quality + headers) are
+            # strictly larger than their compressed payload.
+            assert estimate > block["bytes"]
+            assert estimate >= block["n_reads"]
+
 
 class TestSimulate:
     def test_writes_fastq_and_reference(self, tmp_path, capsys):
@@ -488,3 +506,33 @@ class TestCompressFormatVersion:
         capsys.readouterr()
         assert main(["verify", str(archive)]) == 0
         assert "unchecked" in capsys.readouterr().out
+
+
+class TestServe:
+    def test_smoke_starts_and_exits_clean(self, workdir, capsys):
+        archive = workdir / "reads.sage"
+        main(["compress", str(workdir / "reads.fastq"),
+              str(workdir / "ref.txt"), str(archive),
+              "--block-reads", "24"])
+        capsys.readouterr()
+        assert main(["serve", str(archive), "--port", "0",
+                     "--smoke"]) == 0
+        captured = capsys.readouterr()
+        assert "serving reads on http://127.0.0.1:" in captured.out
+        assert "requests: 0" in captured.err
+
+    def test_duplicate_names_usage_error(self, workdir, capsys):
+        archive = workdir / "reads.sage"
+        main(["compress", str(workdir / "reads.fastq"),
+              str(workdir / "ref.txt"), str(archive)])
+        capsys.readouterr()
+        with pytest.raises(SystemExit) as excinfo:
+            main(["serve", str(archive), str(archive),
+                  "--port", "0", "--smoke"])
+        assert excinfo.value.code == 2  # usage error
+        assert "duplicate" in capsys.readouterr().err
+
+    def test_missing_archive_is_usage_error(self, tmp_path, capsys):
+        assert main(["serve", str(tmp_path / "nope.sage"),
+                     "--port", "0", "--smoke"]) == 2
+        assert "no such file" in capsys.readouterr().err

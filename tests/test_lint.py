@@ -40,6 +40,7 @@ def codes_for(source, path, **kwargs):
 CORE = "src/repro/core/widget.py"
 KERNEL = "src/repro/core/kernels.py"
 PIPELINE = "src/repro/pipeline/widget.py"
+SERVE = "src/repro/serve/handlers.py"
 
 FIXTURES = {
     "SGL001": {
@@ -126,6 +127,28 @@ FIXTURES = {
                 def load(self, archive, index):
                     self._data = bytes(archive.block_payload(index))
             """, PIPELINE),
+    },
+    "SGL007": {
+        "violating": ("""\
+            class Handlers:
+                async def _handle_block(self, request):
+                    return request.served.decode(0)
+            """, SERVE),
+        "clean": ("""\
+            from repro.core.errors import SAGeError
+            from repro.serve.http import sage_error_boundary
+
+            class Handlers:
+                @sage_error_boundary
+                async def _handle_block(self, request):
+                    return request.served.decode(0)
+
+                async def _handle_stats(self, request):
+                    try:
+                        return request.served.stats()
+                    except SAGeError as exc:
+                        return {"error": str(exc)}
+            """, SERVE),
     },
 }
 
@@ -360,6 +383,70 @@ class TestMmapLifetimeEdges:
                 def _pin(self, buf):
                     self._view = memoryview(buf)
             """, "src/repro/core/container.py") == []
+
+
+class TestServeErrorMappingEdges:
+    def test_docstring_then_try_is_guarded(self):
+        assert codes_for("""\
+            from repro.core.errors import BlockDecodeError
+
+            class Handlers:
+                async def _handle_block(self, request):
+                    \"\"\"Serve one block.\"\"\"
+                    try:
+                        return request.served.decode(0)
+                    except BlockDecodeError as exc:
+                        return {"error": str(exc)}
+            """, SERVE) == []
+
+    def test_partial_guard_still_flagged(self):
+        # A try that does not cover the whole body (statements outside
+        # it) leaves an unguarded escape path.
+        assert "SGL007" in codes_for("""\
+            from repro.core.errors import SAGeError
+
+            class Handlers:
+                async def _handle_block(self, request):
+                    served = request.served.decode(0)
+                    try:
+                        return served
+                    except SAGeError:
+                        return None
+            """, SERVE)
+
+    def test_catching_unrelated_error_flagged(self):
+        assert "SGL007" in codes_for("""\
+            class Handlers:
+                async def _handle_block(self, request):
+                    try:
+                        return request.served.decode(0)
+                    except KeyError:
+                        return None
+            """, SERVE)
+
+    def test_non_handler_names_ignored(self):
+        assert codes_for("""\
+            class Server:
+                async def _decoded_block(self, request):
+                    return request.served.decode(0)
+
+                def _route(self, request):
+                    return request.path
+            """, SERVE) == []
+
+    def test_sync_handler_also_checked(self):
+        assert "SGL007" in codes_for("""\
+            class Handlers:
+                def handle_inspect(self, request):
+                    return request.served.inspect()
+            """, SERVE)
+
+    def test_out_of_serve_tree_ignored(self):
+        assert codes_for("""\
+            class Handlers:
+                async def _handle_block(self, request):
+                    return request.served.decode(0)
+            """, PIPELINE) == []
 
 
 # ----------------------------------------------------------------------

@@ -1,0 +1,394 @@
+"""End-to-end tests for the ``repro.serve`` archive service.
+
+Each test runs a real :class:`ArchiveServer` on a loopback port and
+drives it with :class:`ServeClient` over actual sockets — the
+coalescing, caching, and error-mapping behavior under test is exactly
+what production requests would exercise.
+"""
+
+import io
+import json
+import threading
+
+import pytest
+
+from repro.api import EngineOptions, SAGeDataset
+from repro.genomics import fastq
+from repro.serve import ArchiveServer, ServeClient
+
+BLOCK_READS = 24
+
+
+@pytest.fixture(scope="module")
+def served_archive(tmp_path_factory, rs3_small):
+    path = tmp_path_factory.mktemp("serve") / "reads.sage"
+    dataset = SAGeDataset.from_fastq(
+        rs3_small.read_set, reference=rs3_small.reference,
+        options=EngineOptions(block_reads=BLOCK_READS))
+    dataset.save(path)
+    buffer = io.StringIO()
+    with SAGeDataset.open(path) as session:
+        session.to_fastq(buffer)
+        n_blocks = session.archive.n_blocks
+    assert n_blocks >= 4
+    return {"path": path, "fastq": buffer.getvalue(),
+            "n_blocks": n_blocks}
+
+
+@pytest.fixture()
+def server(served_archive):
+    with ArchiveServer([str(served_archive["path"])], port=0) as srv:
+        srv.start()
+        yield srv
+
+
+@pytest.fixture()
+def client(server):
+    with ServeClient(server.host, server.port) as c:
+        yield c
+
+
+class TestEndpoints:
+    def test_archives_listing(self, client, served_archive):
+        info = client.get_json("/archives")
+        [entry] = info["archives"]
+        assert entry["name"] == "reads"
+        assert entry["n_blocks"] == served_archive["n_blocks"]
+        assert entry["format_version"] == 4
+
+    def test_inspect_reports_size_estimates(self, client,
+                                            served_archive):
+        info = client.get_json("/inspect")
+        assert len(info["blocks"]) == served_archive["n_blocks"]
+        assert info["decoded_nbytes_estimate_total"] > 0
+        offsets = [b["first_read"] for b in info["blocks"]]
+        assert offsets == sorted(offsets)
+        for block in info["blocks"]:
+            assert block["decoded_nbytes_estimate"] > 0
+            assert block["crc32"] is not None
+
+    def test_block_fastq_roundtrip(self, client, served_archive):
+        text = "".join(
+            client.get_text(f"/block/{i}")
+            for i in range(served_archive["n_blocks"]))
+        assert text == served_archive["fastq"]
+
+    def test_block_json_format(self, client):
+        info = client.get_json("/block/1?format=json")
+        assert info["block"] == 1
+        assert info["first_read"] == BLOCK_READS
+        first = info["reads"][0]
+        assert first["index"] == BLOCK_READS
+        assert set(first) == {"index", "header", "sequence", "quality"}
+
+    def test_block_stream_selection(self, client):
+        full = client.get_text("/block/0")
+        seq_only = client.get_text("/block/0?streams=sequence")
+        assert seq_only != full
+        # Same sequences, placeholder qualities and fallback headers.
+        assert [l for l in seq_only.splitlines()[1::4]] == \
+            [l for l in full.splitlines()[1::4]]
+
+    def test_block_out_of_range_404(self, client, served_archive):
+        status, body = client.get(
+            f"/block/{served_archive['n_blocks']}")
+        assert status == 404
+        assert "out of range" in json.loads(body)["error"]
+
+    def test_bad_streams_400(self, client):
+        status, body = client.get("/block/0?streams=bogus")
+        assert status == 400
+        assert "unknown stream group" in json.loads(body)["error"]
+
+    def test_reads_range_cross_block(self, client, served_archive):
+        start, stop = BLOCK_READS - 5, BLOCK_READS + 5
+        text = client.get_text(f"/reads/{start}-{stop}")
+        expected_lines = served_archive["fastq"].splitlines(True)
+        expected = "".join(expected_lines[4 * start:4 * stop])
+        assert text == expected
+
+    def test_reads_whole_archive(self, client, served_archive):
+        n_reads = client.get_json("/archives")["archives"][0]["n_reads"]
+        text = client.get_text(f"/reads/0-{n_reads}")
+        assert text == served_archive["fastq"]
+
+    def test_reads_invalid_range_400(self, client):
+        assert client.get("/reads/5-5")[0] == 400
+        assert client.get("/reads/0-999999")[0] == 400
+
+    def test_analyze_mapping_rate(self, client):
+        status, info = client.post_json(
+            "/analyze", {"sinks": ["mapping-rate"]})
+        assert status == 200
+        result = info["results"]["mapping-rate"]
+        assert result["n_reads"] == result["n_mapped"] + \
+            result["n_unmapped"]
+        assert info["stream"]["blocks"] > 0
+
+    def test_analyze_unknown_sink_400(self, client):
+        status, info = client.post_json("/analyze",
+                                        {"sinks": ["nope"]})
+        assert status == 400
+        assert "unknown sink" in info["error"]
+
+    def test_analyze_duplicate_sinks_400(self, client):
+        status, info = client.post_json(
+            "/analyze", {"sinks": ["property", "property"]})
+        assert status == 400
+
+    def test_analyze_options_override(self, client):
+        status, info = client.post_json(
+            "/analyze", {"sinks": ["mapping-rate"],
+                         "options": {"workers": 2}})
+        assert status == 200
+
+    def test_analyze_unknown_option_400(self, client):
+        status, info = client.post_json(
+            "/analyze", {"sinks": ["mapping-rate"],
+                         "options": {"level": "O1"}})
+        assert status == 400
+        assert "unknown option" in info["error"]
+
+    def test_analyze_invalid_option_value_400(self, client):
+        status, info = client.post_json(
+            "/analyze", {"sinks": ["mapping-rate"],
+                         "options": {"workers": -3}})
+        assert status == 400
+
+    def test_codec_override_byte_identical(self, client):
+        assert client.get_text("/block/0?codec=python") == \
+            client.get_text("/block/0?codec=numpy")
+
+    def test_bad_codec_400(self, client):
+        assert client.get("/block/0?codec=fortran")[0] == 400
+
+    def test_stats_shape(self, client):
+        client.get_text("/block/0")
+        info = client.get_json("/stats")
+        assert info["requests"] >= 1
+        assert "/block" in info["endpoints"]
+        window = info["endpoints"]["/block"]
+        assert window["p50_ms"] <= window["p99_ms"] or \
+            window["count"] == 1
+        assert set(info["cache"]) >= {"hits", "misses", "hit_rate"}
+
+    def test_unknown_endpoint_404(self, client):
+        status, body = client.get("/nope")
+        assert status == 404
+
+    def test_wrong_method_405(self, client):
+        status, _ = client._request("POST", "/archives")
+        assert status == 405
+        status, _ = client._request("GET", "/cache/clear")
+        assert status == 405
+
+    def test_bad_json_body_400(self, client):
+        status, raw = client._request(
+            "POST", "/analyze", body=b"{not json",
+            headers={"Content-Type": "application/json"})
+        assert status == 400
+
+    def test_cache_clear(self, client):
+        client.get_text("/block/0")
+        status, info = client.post_json("/cache/clear", {})
+        assert status == 200
+        assert info["cleared"] >= 1
+
+
+class TestCacheAndCoalescing:
+    def test_repeat_requests_hit_cache(self, server, client):
+        client.post_json("/cache/clear", {})
+        client.get_text("/block/0")
+        decodes_before = client.get_json("/stats")["decodes"]
+        for _ in range(5):
+            client.get_text("/block/0")
+        stats = client.get_json("/stats")
+        assert stats["decodes"] == decodes_before
+        assert stats["cache"]["hits"] >= 5
+
+    def test_selection_has_its_own_cache_entry(self, server, client):
+        client.post_json("/cache/clear", {})
+        client.get_text("/block/1")
+        decodes = client.get_json("/stats")["decodes"]
+        client.get_text("/block/1?streams=sequence")
+        assert client.get_json("/stats")["decodes"] == decodes + 1
+
+    def test_same_block_burst_coalesces_to_one_decode(self, server):
+        n_clients = 32
+        before = ServeClient(server.host, server.port)
+        before.post_json("/cache/clear", {})
+        stats_before = before.get_json("/stats")
+        barrier = threading.Barrier(n_clients)
+        bodies = []
+        errors = []
+
+        def worker():
+            try:
+                with ServeClient(server.host, server.port) as c:
+                    barrier.wait(timeout=10)
+                    bodies.append(c.get_text("/block/2"))
+            except BaseException as exc:  # pragma: no cover
+                errors.append(exc)
+
+        threads = [threading.Thread(target=worker)
+                   for _ in range(n_clients)]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join(timeout=60)
+        assert not errors
+        assert len(set(bodies)) == 1 and len(bodies) == n_clients
+        stats_after = before.get_json("/stats")
+        # The heart of the PR: a 32-client burst on one cold block
+        # performs exactly one decode; everyone else coalesced onto it
+        # or hit the cache it filled.
+        assert stats_after["decodes"] - stats_before["decodes"] == 1
+        joined = (stats_after["coalesced"] - stats_before["coalesced"]) \
+            + (stats_after["cache"]["hits"]
+               - stats_before["cache"]["hits"])
+        assert joined == n_clients - 1
+        before.close()
+
+    def test_tiny_cache_evicts(self, served_archive):
+        with ArchiveServer([str(served_archive["path"])], port=0,
+                           cache_bytes=15_000) as srv:
+            srv.start()
+            with ServeClient(srv.host, srv.port) as c:
+                for _ in range(3):
+                    for i in range(served_archive["n_blocks"]):
+                        c.get_text(f"/block/{i}")
+                stats = c.get_json("/stats")
+        assert stats["cache"]["evictions"] > 0
+        assert stats["cache"]["current_bytes"] <= 15_000
+
+    def test_byte_identity_under_concurrent_load(self, server,
+                                                 served_archive):
+        n_blocks = served_archive["n_blocks"]
+        stop = threading.Event()
+        errors = []
+
+        def background_load(seed):
+            try:
+                with ServeClient(server.host, server.port) as c:
+                    i = seed
+                    while not stop.is_set():
+                        c.get_text(f"/block/{i % n_blocks}")
+                        i += 3
+            except BaseException as exc:  # pragma: no cover
+                errors.append(exc)
+
+        threads = [threading.Thread(target=background_load, args=(s,))
+                   for s in range(4)]
+        for t in threads:
+            t.start()
+        try:
+            with ServeClient(server.host, server.port) as c:
+                text = "".join(c.get_text(f"/block/{i}")
+                               for i in range(n_blocks))
+        finally:
+            stop.set()
+            for t in threads:
+                t.join(timeout=30)
+        assert not errors
+        assert text == served_archive["fastq"]
+
+
+class TestErrorMapping:
+    def test_corrupt_block_maps_to_500_with_context(self, tmp_path,
+                                                    rs3_small):
+        path = tmp_path / "damaged.sage"
+        dataset = SAGeDataset.from_fastq(
+            rs3_small.read_set, reference=rs3_small.reference,
+            options=EngineOptions(block_reads=BLOCK_READS))
+        dataset.save(path)
+        with SAGeDataset.open(path) as session:
+            target = 2
+            entry = session.archive.block_index()[target]
+        blob = bytearray(path.read_bytes())
+        blob[entry.offset + 7] ^= 0xFF
+        path.write_bytes(bytes(blob))
+        with ArchiveServer([str(path)], port=0) as srv:
+            srv.start()
+            with ServeClient(srv.host, srv.port) as c:
+                status, body = c.get(f"/block/{target}")
+                info = json.loads(body)
+                assert status == 500
+                assert info["error_type"] in ("CorruptArchiveError",
+                                              "BlockDecodeError")
+                assert info["block_index"] == target
+                # Healthy blocks still serve around the damage.
+                assert c.get("/block/0")[0] == 200
+                stats = c.get_json("/stats")
+                assert stats["errors"] >= 1
+
+    def test_failed_decode_is_not_cached(self, tmp_path, rs3_small):
+        path = tmp_path / "damaged2.sage"
+        dataset = SAGeDataset.from_fastq(
+            rs3_small.read_set, reference=rs3_small.reference,
+            options=EngineOptions(block_reads=BLOCK_READS))
+        dataset.save(path)
+        with SAGeDataset.open(path) as session:
+            entry = session.archive.block_index()[1]
+        blob = bytearray(path.read_bytes())
+        blob[entry.offset + 3] ^= 0xFF
+        path.write_bytes(bytes(blob))
+        with ArchiveServer([str(path)], port=0) as srv:
+            srv.start()
+            with ServeClient(srv.host, srv.port) as c:
+                assert c.get("/block/1")[0] == 500
+                assert c.get("/block/1")[0] == 500
+                stats = c.get_json("/stats")
+        # Both requests attempted a decode: failures never populate
+        # the cache or stick in the single-flight table.
+        assert stats["decodes"] == 0
+        assert srv.final_stats["inflight"] == 0
+
+
+class TestMultiArchive:
+    def test_named_archives_and_selection(self, served_archive,
+                                          tmp_path, rs2_small):
+        other = tmp_path / "other.sage"
+        SAGeDataset.from_fastq(
+            rs2_small.read_set, reference=rs2_small.reference,
+            options=EngineOptions(block_reads=BLOCK_READS)).save(other)
+        specs = [f"first={served_archive['path']}", f"second={other}"]
+        with ArchiveServer(specs, port=0) as srv:
+            srv.start()
+            assert srv.archive_names == ("first", "second")
+            with ServeClient(srv.host, srv.port) as c:
+                info = c.get_json("/archives")
+                assert [a["name"] for a in info["archives"]] == \
+                    ["first", "second"]
+                # Ambiguous requests must name the archive.
+                status, body = c.get("/block/0")
+                assert status == 400
+                assert "archive" in json.loads(body)["error"]
+                assert c.get("/block/0?archive=first")[0] == 200
+                assert c.get("/block/0?archive=second")[0] == 200
+                assert c.get("/block/0?archive=third")[0] == 404
+
+    def test_duplicate_names_rejected(self, served_archive):
+        path = str(served_archive["path"])
+        with pytest.raises(ValueError, match="duplicate"):
+            ArchiveServer([path, path], port=0)
+
+
+class TestLifecycle:
+    def test_close_is_idempotent_and_snapshots_stats(self,
+                                                     served_archive):
+        srv = ArchiveServer([str(served_archive["path"])], port=0)
+        srv.start()
+        with ServeClient(srv.host, srv.port) as c:
+            c.get_text("/block/0")
+        first = srv.close()
+        second = srv.close()
+        assert first["requests"] >= 1
+        assert second == first
+
+    def test_server_without_start_closes_cleanly(self, served_archive):
+        srv = ArchiveServer([str(served_archive["path"])], port=0)
+        srv.close()
+
+    def test_missing_archive_fails_fast(self, tmp_path):
+        with pytest.raises(FileNotFoundError):
+            ArchiveServer([str(tmp_path / "missing.sage")], port=0)
